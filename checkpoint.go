@@ -1,0 +1,58 @@
+package znn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// checkpoint is the on-disk format: enough to rebuild the network and
+// restore its parameters.
+type checkpoint struct {
+	Format int
+	Spec   string
+	Config Config
+	Params []float64
+}
+
+const checkpointFormat = 1
+
+// Save serializes the network spec, configuration and parameters. The
+// scheduler state is not part of a checkpoint (pending updates should be
+// drained by pausing training before saving).
+func (n *Network) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(checkpoint{
+		Format: checkpointFormat,
+		Spec:   n.spec.String(),
+		Config: n.cfg,
+		Params: n.nw.Params(),
+	})
+}
+
+// Load rebuilds a network from a checkpoint written by Save. workers, when
+// > 0, overrides the stored worker count (checkpoints move between
+// machines with different core counts).
+func Load(r io.Reader, workers int) (*Network, error) {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("znn: reading checkpoint: %w", err)
+	}
+	if cp.Format != checkpointFormat {
+		return nil, fmt.Errorf("znn: unsupported checkpoint format %d", cp.Format)
+	}
+	cfg := cp.Config
+	// The stored spec already includes the sliding-window transform.
+	cfg.SlidingWindow = false
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	n, err := NewNetwork(cp.Spec, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("znn: rebuilding network: %w", err)
+	}
+	if err := n.SetParams(cp.Params); err != nil {
+		n.Close()
+		return nil, fmt.Errorf("znn: restoring parameters: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,127 @@
+// znn-bench regenerates every table and figure of the paper's evaluation
+// (see DESIGN.md section 4 for the experiment index).
+//
+// Usage:
+//
+//	znn-bench -exp all                 # everything, scaled to this machine
+//	znn-bench -exp fig7 -workers 4     # one experiment
+//	znn-bench -exp fig8 -paper-scale   # the paper's exact parameters
+//
+// Experiments: tablev table1 table2 table34 fig4 fig5 fig6 fig7 fig8 fig9
+// sched memo sum pool pqueue all.
+//
+// Measured speedups are bounded by this machine's core count; the paper's
+// 8–120 CPU curves are regenerated analytically by fig4 and the measured
+// experiments take -workers so wider hosts reproduce the full sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+type config struct {
+	workers    int
+	paperScale bool
+	rounds     int // timed rounds per measurement
+	warmup     int
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see doc)")
+	workers := flag.Int("workers", runtime.NumCPU(), "max worker threads for measured experiments")
+	paperScale := flag.Bool("paper-scale", false, "use the paper's full network sizes (slow)")
+	rounds := flag.Int("rounds", 0, "timed rounds per point (0 = default per experiment)")
+	flag.Parse()
+
+	cfg := config{workers: *workers, paperScale: *paperScale, rounds: *rounds, warmup: 2}
+
+	experiments := map[string]func(config){
+		"tablev":  tableV,
+		"table1":  table1,
+		"table2":  table2,
+		"table34": table34,
+		"fig4":    fig4,
+		"fig5":    fig5,
+		"fig6":    fig6,
+		"fig7":    fig7,
+		"fig8":    fig8,
+		"fig9":    fig9,
+		"sched":   schedAblation,
+		"memo":    memoAblation,
+		"sum":     sumAblation,
+		"pool":    poolAblation,
+		"pqueue":  pqueueAblation,
+	}
+	order := []string{"tablev", "table1", "table2", "table34", "fig4",
+		"fig5", "fig6", "fig7", "fig8", "fig9",
+		"sched", "memo", "sum", "pool", "pqueue"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			experiments[name](cfg)
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s all\n",
+			*exp, strings.Join(order, " "))
+		os.Exit(2)
+	}
+	fn(cfg)
+}
+
+// header prints a boxed experiment title.
+func header(title string) {
+	line := strings.Repeat("=", len(title)+4)
+	fmt.Printf("%s\n= %s =\n%s\n", line, title, line)
+}
+
+// timeIt returns the mean seconds per call of fn over timed calls after
+// warmup calls.
+func timeIt(warmup, timed int, fn func()) float64 {
+	for i := 0; i < warmup; i++ {
+		fn()
+	}
+	start := time.Now()
+	for i := 0; i < timed; i++ {
+		fn()
+	}
+	return time.Since(start).Seconds() / float64(timed)
+}
+
+// tableV prints the machine inventory (the stand-in for the paper's
+// Table V, which lists the authors' four Xeon/Xeon Phi systems).
+func tableV(cfg config) {
+	header("Table V — machine used for the measured experiments")
+	fmt.Printf("logical CPUs:  %d\n", runtime.NumCPU())
+	fmt.Printf("GOMAXPROCS:    %d\n", runtime.GOMAXPROCS(0))
+	fmt.Printf("go version:    %s %s/%s\n", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	if model := cpuModel(); model != "" {
+		fmt.Printf("cpu model:     %s\n", model)
+	}
+	fmt.Printf("\npaper's machines: Xeon E5-2666v3 (8c/16t), E5-2666v3 (18c/36t),\n")
+	fmt.Printf("E7-4850 (40c/80t), Xeon Phi 5110P (60c/240t). Measured speedups\n")
+	fmt.Printf("on this host saturate at ~%d; pass -workers on a wider machine.\n", runtime.NumCPU())
+}
+
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.Index(line, ":"); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return ""
+}

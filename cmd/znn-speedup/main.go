@@ -1,0 +1,104 @@
+// znn-speedup prints the theoretically achievable speedup curves of Fig. 4:
+// Brent's-theorem bounds for layered ConvNets as a function of network
+// width, processor count and depth (Section V-A of the paper).
+//
+// Usage:
+//
+//	znn-speedup [-mode direct|fft|fft-memo] [-cpus 8,18,40,60,120]
+//	            [-depths 4,8,20,40] [-max-width 120] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"znn/internal/model"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func main() {
+	mode := flag.String("mode", "fft-memo", "cost model: direct, fft, fft-memo")
+	cpus := flag.String("cpus", "8,18,40,60,120", "processor counts (paper's Fig. 4 set)")
+	depths := flag.String("depths", "4,8,20,40", "network depths (conv layers)")
+	maxWidth := flag.Int("max-width", 120, "largest network width")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	flag.Parse()
+
+	var m model.Mode
+	switch *mode {
+	case "direct":
+		m = model.Direct
+	case "fft":
+		m = model.FFT
+	case "fft-memo":
+		m = model.FFTMemo
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	ps, err := parseInts(*cpus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ds, err := parseInts(*depths)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	widths := []int{1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 60, 80, 100, 120}
+	var ws []int
+	for _, w := range widths {
+		if w <= *maxWidth {
+			ws = append(ws, w)
+		}
+	}
+
+	if *csv {
+		fmt.Println("mode,cpus,depth,width,speedup")
+		for _, p := range ps {
+			for _, d := range ds {
+				for _, pt := range model.Fig4Curve(m, p, d, ws) {
+					fmt.Printf("%s,%d,%d,%d,%.3f\n", m, p, d, pt.Width, pt.Speedup)
+				}
+			}
+		}
+		return
+	}
+	fmt.Printf("Fig. 4 — theoretically achievable speedup, %s convolution (C=%g, kernels 5³)\n\n",
+		m, model.FFTConstant)
+	for _, d := range ds {
+		fmt.Printf("depth %d:\n", d)
+		fmt.Printf("  %8s", "width")
+		for _, p := range ps {
+			fmt.Printf("  P=%-6d", p)
+		}
+		fmt.Println()
+		curves := make(map[int][]model.Fig4Point)
+		for _, p := range ps {
+			curves[p] = model.Fig4Curve(m, p, d, ws)
+		}
+		for i, w := range ws {
+			fmt.Printf("  %8d", w)
+			for _, p := range ps {
+				fmt.Printf("  %-8.2f", curves[p][i].Speedup)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

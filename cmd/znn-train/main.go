@@ -1,0 +1,126 @@
+// znn-train trains a spec'd ConvNet on synthetic data and reports per-round
+// loss and timing — the command-line face of the library.
+//
+// Usage:
+//
+//	znn-train [-spec C3-Trelu-M2-C3-Trelu] [-width 8] [-out 8] [-dims 3]
+//	          [-workers N] [-rounds 200] [-eta 0.5] [-momentum 0.9]
+//	          [-loss mean-bce] [-data boundary|texture|random]
+//	          [-conv auto|direct|fft] [-memoize] [-sliding]
+//	          [-checkpoint file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"znn"
+	"znn/internal/data"
+)
+
+func main() {
+	spec := flag.String("spec", "C3-Ttanh-P2-C3-Ttanh-C1-Tlogistic", "layer spec")
+	width := flag.Int("width", 8, "hidden conv layer width")
+	out := flag.Int("out", 8, "output patch extent")
+	dims := flag.Int("dims", 3, "2 or 3 dimensional images")
+	workers := flag.Int("workers", runtime.NumCPU(), "scheduler workers")
+	rounds := flag.Int("rounds", 200, "training rounds")
+	eta := flag.Float64("eta", 0.5, "learning rate")
+	momentum := flag.Float64("momentum", 0.9, "momentum coefficient")
+	lossName := flag.String("loss", "mean-bce", "loss: squared, bce, softmax, mean-*")
+	dataset := flag.String("data", "boundary", "data: boundary, texture, random")
+	convMode := flag.String("conv", "auto", "conv: auto, measured, direct, fft")
+	memoize := flag.Bool("memoize", true, "enable FFT memoization")
+	sliding := flag.Bool("sliding", true, "convert pooling to sliding-window filtering")
+	checkpoint := flag.String("checkpoint", "", "write a checkpoint here when done")
+	seed := flag.Int64("seed", 1, "initialization seed")
+	flag.Parse()
+
+	var cm znn.ConvMode
+	switch *convMode {
+	case "auto":
+		cm = znn.Autotune
+	case "measured":
+		cm = znn.AutotuneMeasured
+	case "direct":
+		cm = znn.ForceDirect
+	case "fft":
+		cm = znn.ForceFFT
+	default:
+		log.Fatalf("unknown conv mode %q", *convMode)
+	}
+
+	nw, err := znn.NewNetwork(*spec, znn.Config{
+		Width:         *width,
+		OutputPatch:   *out,
+		Dims:          *dims,
+		Workers:       *workers,
+		Eta:           *eta,
+		Momentum:      *momentum,
+		Loss:          *lossName,
+		Conv:          cm,
+		Memoize:       *memoize,
+		SlidingWindow: *sliding,
+		Seed:          *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nw.Close()
+
+	fmt.Printf("%v\n", nw)
+	fmt.Printf("spec: %s | conv per layer: %v | workers: %d\n",
+		nw.Spec(), nw.LayerMethods(), *workers)
+
+	var provider data.Provider
+	switch *dataset {
+	case "boundary":
+		bp := data.NewBoundaryProvider(nw.InputShape(), nw.OutputShape(), *seed)
+		bp.SetCentered(true)
+		provider = bp
+	case "texture":
+		provider = data.NewTextureProviderCropped(nw.InputShape(), 3, nw.OutputShape(), *seed)
+	case "random":
+		provider = data.NewRandomProvider(nw.InputShape(), nw.OutputShape(), 1, *seed)
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+
+	start := time.Now()
+	var loss float64
+	every := max(1, *rounds/10)
+	for round := 1; round <= *rounds; round++ {
+		s := provider.Next()
+		loss, err = nw.Train(s.Input, s.Desired[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if round == 1 || round%every == 0 {
+			el := time.Since(start)
+			fmt.Printf("round %5d  loss %.6f  (%.1f ms/update)\n",
+				round, loss, el.Seconds()*1000/float64(round))
+		}
+	}
+	el := time.Since(start)
+	fmt.Printf("\ntrained %d rounds in %v (%.1f ms/update, final loss %.6f)\n",
+		*rounds, el.Round(time.Millisecond), el.Seconds()*1000/float64(*rounds), loss)
+	st := nw.Stats()
+	fmt.Printf("scheduler: %d tasks, forced updates inline/stolen/attached = %d/%d/%d\n",
+		st.Executed, st.ForcedInline, st.ForcedClaimed, st.ForcedAttached)
+
+	if *checkpoint != "" {
+		f, err := os.Create(*checkpoint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := nw.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *checkpoint)
+	}
+}

@@ -1,0 +1,103 @@
+package znn_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"znn"
+)
+
+// ExampleNewNetwork builds the paper's 3D benchmark architecture
+// (CTMCTMCTCT) at a small width and runs one training round.
+func ExampleNewNetwork() {
+	nw, err := znn.NewNetwork("C3-Trelu-M2-C3-Trelu-M2-C3-Trelu-C3-Trelu", znn.Config{
+		Width:       2,
+		OutputPatch: 4,
+		Workers:     2,
+		Eta:         0.01,
+		Seed:        1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer nw.Close()
+	fmt.Println("input:", nw.InputShape())
+	fmt.Println("output:", nw.OutputShape())
+	fmt.Println("field of view:", nw.FieldOfView())
+	// Output:
+	// input: 29x29x29
+	// output: 4x4x4
+	// field of view: 26
+}
+
+// ExampleNetwork_Train shows a gradient step on random data.
+func ExampleNetwork_Train() {
+	nw, err := znn.NewNetwork("C2-Ttanh", znn.Config{
+		Width:       1,
+		OutputPatch: 2,
+		Seed:        7,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer nw.Close()
+	rng := rand.New(rand.NewSource(2))
+	in := znn.NewTensor(nw.InputShape())
+	want := znn.NewTensor(nw.OutputShape())
+	in.FillUniform(rng, -1, 1)
+	want.FillUniform(rng, -0.5, 0.5)
+	l1, _ := nw.Train(in, want)
+	var l2 float64
+	for i := 0; i < 50; i++ {
+		l2, _ = nw.Train(in, want)
+	}
+	fmt.Println("loss decreased:", l2 < l1)
+	// Output:
+	// loss decreased: true
+}
+
+// ExampleGraphBuilder constructs a two-path multi-scale network whose
+// branches converge on a summing node.
+func ExampleGraphBuilder() {
+	b := znn.NewGraphBuilder(znn.Config{Workers: 1, Eta: 0.001, Seed: 3})
+	in := b.Input("in", znn.Cube(12))
+	fine := b.Conv("fine", znn.Cube(5), znn.Dense(), in)
+	coarse := b.Conv("coarse", znn.Cube(3), znn.Uniform(2), in)
+	fmt.Println("fine:", fine.Shape(), "coarse:", coarse.Shape())
+	merged := b.Conv("merge", znn.Cube(1), znn.Dense(),
+		b.Transfer("ft", "relu", fine), b.Transfer("ct", "relu", coarse))
+	fmt.Println("merged:", merged.Shape())
+	m, err := b.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer m.Close()
+	// Output:
+	// fine: 8x8x8 coarse: 8x8x8
+	// merged: 8x8x8
+}
+
+// ExampleConfig_slidingWindow demonstrates the Fig. 2 transform: a
+// max-pooling spec trained as a max-filtering network with a dense output
+// patch.
+func ExampleConfig_slidingWindow() {
+	nw, err := znn.NewNetwork("C3-Trelu-P2-C3-Trelu", znn.Config{
+		Width:         2,
+		OutputPatch:   6,
+		SlidingWindow: true,
+		Seed:          4,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer nw.Close()
+	fmt.Println("spec:", nw.Spec())
+	fmt.Println("dense output:", nw.OutputShape())
+	// Output:
+	// spec: C3-Trelu-M2-C3-Trelu
+	// dense output: 6x6x6
+}

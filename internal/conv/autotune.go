@@ -1,0 +1,168 @@
+package conv
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"znn/internal/fft"
+	"znn/internal/mempool"
+	"znn/internal/tensor"
+)
+
+// TunePolicy selects how the autotuner decides between direct and FFT
+// convolution for a layer ("ZNN performs layerwise auto-tuning to choose
+// between FFT-based or direct convolution for each layer", Section IV).
+type TunePolicy int
+
+const (
+	// TuneModel chooses by the Table II cost formulas (deterministic).
+	TuneModel TunePolicy = iota
+	// TuneMeasure times the primitive operations on this machine and
+	// chooses by measured per-round layer cost.
+	TuneMeasure
+	// TuneForceDirect always chooses direct convolution.
+	TuneForceDirect
+	// TuneForceFFT always chooses FFT convolution.
+	TuneForceFFT
+)
+
+func (p TunePolicy) String() string {
+	switch p {
+	case TuneModel:
+		return "model"
+	case TuneMeasure:
+		return "measure"
+	case TuneForceDirect:
+		return "force-direct"
+	case TuneForceFFT:
+		return "force-fft"
+	default:
+		return "unknown"
+	}
+}
+
+// LayerGeom describes one fully connected convolutional layer for tuning
+// purposes: f input nodes, fPrime output nodes, input image shape, kernel
+// shape and sparsity.
+type LayerGeom struct {
+	In     tensor.Shape
+	Kernel tensor.Shape
+	Sp     tensor.Sparsity
+	F      int // input width
+	FPrime int // output width
+}
+
+// Autotuner caches per-geometry decisions. The zero value uses TuneModel.
+type Autotuner struct {
+	Policy TunePolicy
+
+	mu    sync.Mutex
+	cache map[LayerGeom]Method
+}
+
+// Choose returns the convolution method for the layer, caching the answer.
+func (a *Autotuner) Choose(g LayerGeom) Method {
+	switch a.Policy {
+	case TuneForceDirect:
+		return Direct
+	case TuneForceFFT:
+		return FFT
+	}
+	a.mu.Lock()
+	if m, ok := a.cache[g]; ok {
+		a.mu.Unlock()
+		return m
+	}
+	a.mu.Unlock()
+	var m Method
+	if a.Policy == TuneMeasure {
+		m = measureChoice(g)
+	} else {
+		m = modelChoice(g)
+	}
+	a.mu.Lock()
+	if a.cache == nil {
+		a.cache = map[LayerGeom]Method{}
+	}
+	a.cache[g] = m
+	a.mu.Unlock()
+	return m
+}
+
+// modelChoice applies the Table II totals: direct costs 3·f′·f·n′³·k³
+// multiply-adds per round; memoized FFT costs
+// 6Cn³log n³·[f′+f+f′·f] + 12·f′·f·n³.
+func modelChoice(g LayerGeom) Method {
+	out := g.In.ValidConv(g.Kernel, g.Sp)
+	f, fp := float64(g.F), float64(g.FPrime)
+	direct := 3 * fp * f * float64(out.Volume()) * float64(g.Kernel.Volume())
+	m := transformShape(g.In, g.Kernel, g.Sp)
+	nv := float64(m.Volume())
+	fftCost := 6*FFTConstant*nv*math.Log2(math.Max(nv, 2))*(fp+f+fp*f) +
+		12*fp*f*nv
+	if direct <= fftCost {
+		return Direct
+	}
+	return FFT
+}
+
+// measureChoice times the primitive operations of both methods on this
+// machine and compares estimated per-round layer costs. The estimates
+// mirror the implementation: per round the FFT path performs (f+f′) shared
+// image transforms plus, per edge, one kernel transform, three pointwise
+// products, three inverse transforms and two spectrum reflections; the
+// direct path performs three direct convolutions per edge.
+func measureChoice(g LayerGeom) Method {
+	rng := rand.New(rand.NewSource(12345))
+	img := tensor.RandomUniform(rng, g.In, -1, 1)
+	ker := tensor.RandomUniform(rng, g.Kernel, -1, 1)
+	m := transformShape(g.In, g.Kernel, g.Sp)
+	plan := fft.NewPlan3(m)
+	vol := m.Volume()
+
+	tDirect := timeOp(func() {
+		out := tensor.New(g.In.ValidConv(g.Kernel, g.Sp))
+		ValidDirectInto(out, img, ker, g.Sp)
+	})
+
+	buf := mempool.Spectra.Get(vol)
+	fft.LoadReal(buf, m, img)
+	tFFT := timeOp(func() {
+		fft.LoadReal(buf, m, img)
+		plan.Forward(buf)
+	})
+	spec := append([]complex128(nil), buf...)
+	tInv := timeOp(func() {
+		copy(buf, spec)
+		plan.Inverse(buf)
+	})
+	other := mempool.Spectra.Get(vol)
+	copy(other, spec)
+	tMul := timeOp(func() { fft.MulInto(buf, spec, other) })
+	tRefl := timeOp(func() { reflectSpectrumInto(buf, spec, m, g.In) })
+	mempool.Spectra.Put(buf)
+	mempool.Spectra.Put(other)
+
+	f, fp := float64(g.F), float64(g.FPrime)
+	edges := f * fp
+	direct := 3 * edges * tDirect
+	fftTotal := (f+fp)*tFFT + edges*(tFFT+3*tMul+3*tInv+2*tRefl)
+	if direct <= fftTotal {
+		return Direct
+	}
+	return FFT
+}
+
+// timeOp returns the per-call seconds of f, using enough repetitions to get
+// a stable reading without burning benchmark time.
+func timeOp(f func()) float64 {
+	f() // warm-up
+	const reps = 3
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return time.Since(start).Seconds() / reps
+}

@@ -1,0 +1,127 @@
+package conv
+
+import (
+	"math"
+	"sync/atomic"
+
+	"znn/internal/tensor"
+)
+
+// Counters accumulates the work performed by convolution edges, giving the
+// empirical side of the Table II complexity comparison (experiment E2).
+// A nil *Counters is valid and counts nothing, so instrumentation can stay
+// in place on hot paths.
+type Counters struct {
+	FFTs        atomic.Int64 // number of forward 3D transforms
+	InverseFFTs atomic.Int64 // number of inverse 3D transforms
+	FFTFlops    atomic.Int64 // Σ over transforms of C·N·log2(N), C = FFTConstant
+	MulVolume   atomic.Int64 // voxels of pointwise complex multiply-accumulate
+	ReflectOps  atomic.Int64 // spectrum-reflection passes (phase trick, no FFT)
+	DirectFlops atomic.Int64 // multiply-add pairs of direct convolution
+}
+
+// FFTConstant is the constant C in the paper's FFT cost model Cn³·log n³
+// (the paper's Fig. 4 assumes C = 5).
+const FFTConstant = 5
+
+func fftFlops(m tensor.Shape) int64 {
+	n := float64(m.Volume())
+	if n <= 1 {
+		return 0
+	}
+	return int64(FFTConstant * n * math.Log2(n))
+}
+
+func (c *Counters) addFFT(m tensor.Shape) {
+	if c == nil {
+		return
+	}
+	c.FFTs.Add(1)
+	c.FFTFlops.Add(fftFlops(m))
+}
+
+func (c *Counters) addInverse(m tensor.Shape) {
+	if c == nil {
+		return
+	}
+	c.InverseFFTs.Add(1)
+	c.FFTFlops.Add(fftFlops(m))
+}
+
+func (c *Counters) addMul(m tensor.Shape) {
+	if c == nil {
+		return
+	}
+	c.MulVolume.Add(int64(m.Volume()))
+}
+
+func (c *Counters) addReflect(m tensor.Shape) {
+	if c == nil {
+		return
+	}
+	c.ReflectOps.Add(1)
+}
+
+func (c *Counters) addDirect(flops int64) {
+	if c == nil {
+		return
+	}
+	c.DirectFlops.Add(flops)
+}
+
+// Snapshot is a plain-value copy of the counters.
+type Snapshot struct {
+	FFTs        int64
+	InverseFFTs int64
+	FFTFlops    int64
+	MulVolume   int64
+	ReflectOps  int64
+	DirectFlops int64
+}
+
+// Snapshot returns the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		FFTs:        c.FFTs.Load(),
+		InverseFFTs: c.InverseFFTs.Load(),
+		FFTFlops:    c.FFTFlops.Load(),
+		MulVolume:   c.MulVolume.Load(),
+		ReflectOps:  c.ReflectOps.Load(),
+		DirectFlops: c.DirectFlops.Load(),
+	}
+}
+
+// Sub returns the difference of two snapshots (s − t), convenient for
+// measuring a single phase.
+func (s Snapshot) Sub(t Snapshot) Snapshot {
+	return Snapshot{
+		FFTs:        s.FFTs - t.FFTs,
+		InverseFFTs: s.InverseFFTs - t.InverseFFTs,
+		FFTFlops:    s.FFTFlops - t.FFTFlops,
+		MulVolume:   s.MulVolume - t.MulVolume,
+		ReflectOps:  s.ReflectOps - t.ReflectOps,
+		DirectFlops: s.DirectFlops - t.DirectFlops,
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	if c == nil {
+		return
+	}
+	c.FFTs.Store(0)
+	c.InverseFFTs.Store(0)
+	c.FFTFlops.Store(0)
+	c.MulVolume.Store(0)
+	c.ReflectOps.Store(0)
+	c.DirectFlops.Store(0)
+}
+
+// directConvFlops returns the multiply-add count of a direct valid
+// convolution: output volume × kernel volume.
+func directConvFlops(out, k tensor.Shape) int64 {
+	return int64(out.Volume()) * int64(k.Volume())
+}

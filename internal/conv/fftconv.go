@@ -1,0 +1,108 @@
+package conv
+
+import (
+	"fmt"
+
+	"znn/internal/fft"
+	"znn/internal/mempool"
+	"znn/internal/tensor"
+)
+
+// transformShape returns the common FFT shape used for every phase of a
+// convolution edge with input image shape n, kernel shape k and sparsity s:
+// the 5-smooth shape covering the forward full convolution, n + s(k−1).
+//
+// A single shape per edge is what makes memoization sound: the forward
+// image FFT is reusable in the update, and the backward-gradient FFT is
+// reusable in the update, because all products are taken at the same
+// transform size. The required output regions of each phase are alias-free
+// at this size (see package doc for the index ranges).
+func transformShape(n, k tensor.Shape, sp tensor.Sparsity) tensor.Shape {
+	return fft.GoodShape(n.FullConv(k, sp))
+}
+
+// fftOf loads t into a pooled complex buffer of shape m and transforms it
+// in place, returning the spectrum. Callers release the buffer with
+// mempool.Spectra.Put.
+func fftOf(t *tensor.Tensor, m tensor.Shape, c *Counters) []complex128 {
+	buf := mempool.Spectra.Get(m.Volume())
+	fft.LoadReal(buf, m, t)
+	fft.NewPlan3(m).Forward(buf)
+	c.addFFT(m)
+	return buf
+}
+
+// ValidFFT computes the valid sparse convolution via the FFT: pad both
+// operands (kernel dilated) to the transform shape, multiply pointwise,
+// invert, and crop the valid region at offset s(k−1).
+func ValidFFT(img, ker *tensor.Tensor, sp tensor.Sparsity) *tensor.Tensor {
+	checkConvArgs(img, ker, sp)
+	os := img.S.ValidConv(ker.S, sp)
+	if !os.Valid() {
+		panic(fmt.Sprintf("conv: kernel %v (sparsity %v) does not fit in image %v",
+			ker.S, sp, img.S))
+	}
+	m := transformShape(img.S, ker.S, sp)
+	imgF := fftOf(img, m, nil)
+	kerF := fftOf(ker.Dilate(sp), m, nil)
+	fft.MulInto(imgF, imgF, kerF)
+	mempool.Spectra.Put(kerF)
+	fft.NewPlan3(m).Inverse(imgF)
+	out := tensor.New(os)
+	fft.StoreReal(out, imgF, m, sp.X*(ker.S.X-1), sp.Y*(ker.S.Y-1), sp.Z*(ker.S.Z-1))
+	mempool.Spectra.Put(imgF)
+	return out
+}
+
+// FullFFT computes the full sparse convolution via the FFT.
+func FullFFT(img, ker *tensor.Tensor, sp tensor.Sparsity) *tensor.Tensor {
+	checkConvArgs(img, ker, sp)
+	os := img.S.FullConv(ker.S, sp)
+	m := fft.GoodShape(os)
+	imgF := fftOf(img, m, nil)
+	kerF := fftOf(ker.Dilate(sp), m, nil)
+	fft.MulInto(imgF, imgF, kerF)
+	mempool.Spectra.Put(kerF)
+	fft.NewPlan3(m).Inverse(imgF)
+	out := tensor.New(os)
+	fft.StoreReal(out, imgF, m, 0, 0, 0)
+	mempool.Spectra.Put(imgF)
+	return out
+}
+
+// reflectSpectrumInto computes the spectrum of the reflected-and-re-padded
+// signal from the spectrum of the original: for a real signal w with
+// support [0, K−1] padded into M, the reflection w[K−1−t] has spectrum
+// conj(W[m])·Π_d ω_d^{(K_d−1)·m_d}, a pointwise pass with no extra FFT.
+// This is how the backward pass reuses the forward kernel FFT and the
+// update reuses the forward image FFT (Table II, memoized column).
+func reflectSpectrumInto(dst, src []complex128, m, support tensor.Shape) {
+	if len(dst) != m.Volume() || len(src) != m.Volume() {
+		panic("conv: reflectSpectrum buffer size mismatch")
+	}
+	px := phaseTable(m.X, support.X)
+	py := phaseTable(m.Y, support.Y)
+	pz := phaseTable(m.Z, support.Z)
+	i := 0
+	for z := 0; z < m.Z; z++ {
+		for y := 0; y < m.Y; y++ {
+			pyz := py[y] * pz[z]
+			for x := 0; x < m.X; x++ {
+				v := src[i]
+				dst[i] = complex(real(v), -imag(v)) * (px[x] * pyz)
+				i++
+			}
+		}
+	}
+}
+
+// phaseTable returns ω_M^{(K−1)·m} for m = 0..M−1 where ω_M = e^{−2πi/M}.
+func phaseTable(m, k int) []complex128 {
+	tab := make([]complex128, m)
+	w := fft.Twiddle(m)
+	shift := (k - 1) % m
+	for i := 0; i < m; i++ {
+		tab[i] = w[(i*shift)%m]
+	}
+	return tab
+}

@@ -1,0 +1,405 @@
+package conv
+
+import (
+	"fmt"
+	"sync"
+
+	"znn/internal/fft"
+	"znn/internal/mempool"
+	"znn/internal/tensor"
+)
+
+// SpectrumCache shares the forward FFT of one node's image among all edges
+// that consume it ("the FFT of an image at a node can be shared by edges at
+// that node", Section IV). The cache is keyed by transform shape so a node
+// feeding layers with different kernel sizes keeps one spectrum per shape.
+//
+// Cached buffers are garbage-collected rather than pooled: memoizing edges
+// retain references across the round boundary (the update task may run
+// lazily during the next forward pass), so explicit reclamation would need
+// reference counting for no measurable benefit.
+type SpectrumCache struct {
+	mu      sync.Mutex
+	img     *tensor.Tensor
+	entries map[tensor.Shape][]complex128
+}
+
+// Reset points the cache at a new image, discarding cached spectra.
+func (sc *SpectrumCache) Reset(img *tensor.Tensor) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.img = img
+	sc.entries = nil
+}
+
+// Get returns the spectrum of the cached image at transform shape m,
+// computing it on first use. The returned buffer is shared and must be
+// treated as immutable.
+func (sc *SpectrumCache) Get(m tensor.Shape, c *Counters) []complex128 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.img == nil {
+		panic("conv: SpectrumCache.Get before Reset")
+	}
+	if buf, ok := sc.entries[m]; ok {
+		return buf
+	}
+	buf := make([]complex128, m.Volume())
+	fft.LoadReal(buf, m, sc.img)
+	fft.NewPlan3(m).Forward(buf)
+	c.addFFT(m)
+	if sc.entries == nil {
+		sc.entries = map[tensor.Shape][]complex128{}
+	}
+	sc.entries[m] = buf
+	return buf
+}
+
+// Method selects the convolution implementation for an edge.
+type Method int
+
+const (
+	// Direct computes convolutions in the spatial domain.
+	Direct Method = iota
+	// FFT computes convolutions in the frequency domain.
+	FFT
+)
+
+func (m Method) String() string {
+	switch m {
+	case Direct:
+		return "direct"
+	case FFT:
+		return "fft"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Transformer executes the three convolution phases of one edge — forward,
+// backward, kernel gradient — with a fixed method, and implements FFT
+// memoization (Table II): the kernel spectrum persists across rounds until
+// the weight update invalidates it; with Memoize enabled the forward image
+// spectrum and backward gradient spectrum are retained for the update,
+// which then costs a single inverse transform.
+//
+// The scheduler's FORCE discipline (Section VI) makes the memo slots safe
+// without extra synchronization beyond the internal mutex: an edge's update
+// always executes before the edge's next forward pass overwrites the slots.
+type Transformer struct {
+	in  tensor.Shape    // input image shape n
+	k   tensor.Shape    // kernel shape
+	out tensor.Shape    // valid output shape n − s(k−1)
+	sp  tensor.Sparsity // sparsity s
+	m   tensor.Shape    // common transform shape
+	mth Method
+	mem bool
+	cnt *Counters
+
+	mu       sync.Mutex
+	kerF     []complex128 // spectrum of the dilated kernel
+	kerFRefl []complex128 // spectrum of the reflected dilated kernel
+	imgF     []complex128 // memoized forward image spectrum (round-scoped)
+	bwdF     []complex128 // memoized backward gradient spectrum (round-scoped)
+}
+
+// NewTransformer builds a transformer for an edge with the given geometry.
+// counters may be nil.
+func NewTransformer(in, k tensor.Shape, sp tensor.Sparsity, method Method, memoize bool, counters *Counters) *Transformer {
+	out := in.ValidConv(k, sp)
+	if !out.Valid() {
+		panic(fmt.Sprintf("conv: kernel %v (sparsity %v) does not fit in image %v", k, sp, in))
+	}
+	return &Transformer{
+		in:  in,
+		k:   k,
+		out: out,
+		sp:  sp,
+		m:   transformShape(in, k, sp),
+		mth: method,
+		mem: memoize,
+		cnt: counters,
+	}
+}
+
+// Method returns the convolution method in use.
+func (t *Transformer) Method() Method { return t.mth }
+
+// OutShape returns the forward output shape.
+func (t *Transformer) OutShape() tensor.Shape { return t.out }
+
+// InShape returns the forward input shape.
+func (t *Transformer) InShape() tensor.Shape { return t.in }
+
+// TransformShape returns the common FFT shape (meaningful for Method FFT).
+func (t *Transformer) TransformShape() tensor.Shape { return t.m }
+
+// kernelSpectra returns the (possibly cached) spectra of the dilated kernel
+// and its reflection, computing them if the update invalidated them.
+func (t *Transformer) kernelSpectra(ker *tensor.Tensor) (kf, kfr []complex128) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.kerF == nil {
+		d := ker.Dilate(t.sp)
+		t.kerF = make([]complex128, t.m.Volume())
+		fft.LoadReal(t.kerF, t.m, d)
+		fft.NewPlan3(t.m).Forward(t.kerF)
+		t.cnt.addFFT(t.m)
+		t.kerFRefl = make([]complex128, t.m.Volume())
+		reflectSpectrumInto(t.kerFRefl, t.kerF, t.m, d.S)
+		t.cnt.addReflect(t.m)
+	}
+	return t.kerF, t.kerFRefl
+}
+
+// InvalidateKernel discards the cached kernel spectra; the update task
+// calls this after changing the weights.
+func (t *Transformer) InvalidateKernel() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.kerF = nil
+	t.kerFRefl = nil
+}
+
+// Forward computes the edge's forward pass: the valid sparse convolution of
+// img with ker. sc, when non-nil, supplies the node-shared image spectrum.
+func (t *Transformer) Forward(img, ker *tensor.Tensor, sc *SpectrumCache) *tensor.Tensor {
+	if img.S != t.in {
+		panic(fmt.Sprintf("conv: forward image %v, want %v", img.S, t.in))
+	}
+	if ker.S != t.k {
+		panic(fmt.Sprintf("conv: kernel %v, want %v", ker.S, t.k))
+	}
+	if t.mth == Direct {
+		out := tensor.New(t.out)
+		ValidDirectInto(out, img, ker, t.sp)
+		t.cnt.addDirect(directConvFlops(t.out, t.k))
+		return out
+	}
+	var imgF []complex128
+	if sc != nil {
+		imgF = sc.Get(t.m, t.cnt)
+	} else {
+		imgF = make([]complex128, t.m.Volume())
+		fft.LoadReal(imgF, t.m, img)
+		fft.NewPlan3(t.m).Forward(imgF)
+		t.cnt.addFFT(t.m)
+	}
+	kf, _ := t.kernelSpectra(ker)
+	prod := mempool.Spectra.Get(t.m.Volume())
+	fft.MulInto(prod, imgF, kf)
+	t.cnt.addMul(t.m)
+	fft.NewPlan3(t.m).Inverse(prod)
+	t.cnt.addInverse(t.m)
+	out := tensor.New(t.out)
+	fft.StoreReal(out, prod, t.m,
+		t.sp.X*(t.k.X-1), t.sp.Y*(t.k.Y-1), t.sp.Z*(t.k.Z-1))
+	mempool.Spectra.Put(prod)
+	if t.mem {
+		t.mu.Lock()
+		t.imgF = imgF
+		t.mu.Unlock()
+	}
+	return out
+}
+
+// Backward computes the edge's backward pass: the full convolution of the
+// backward image bwd (shape n′) with the reflected kernel, yielding shape
+// n. sc, when non-nil, supplies the spectrum of bwd shared across the
+// in-edges of the node that produced it.
+func (t *Transformer) Backward(bwd, ker *tensor.Tensor, sc *SpectrumCache) *tensor.Tensor {
+	if bwd.S != t.out {
+		panic(fmt.Sprintf("conv: backward image %v, want %v", bwd.S, t.out))
+	}
+	if t.mth == Direct {
+		out := tensor.New(t.in)
+		FullDirectInto(out, bwd, ker.Reflect(), t.sp)
+		t.cnt.addDirect(directConvFlops(t.out, t.k))
+		return out
+	}
+	var bwdF []complex128
+	if sc != nil {
+		bwdF = sc.Get(t.m, t.cnt)
+	} else {
+		bwdF = make([]complex128, t.m.Volume())
+		fft.LoadReal(bwdF, t.m, bwd)
+		fft.NewPlan3(t.m).Forward(bwdF)
+		t.cnt.addFFT(t.m)
+	}
+	_, kfr := t.kernelSpectra(ker)
+	prod := mempool.Spectra.Get(t.m.Volume())
+	fft.MulInto(prod, bwdF, kfr)
+	t.cnt.addMul(t.m)
+	fft.NewPlan3(t.m).Inverse(prod)
+	t.cnt.addInverse(t.m)
+	out := tensor.New(t.in)
+	fft.StoreReal(out, prod, t.m, 0, 0, 0)
+	mempool.Spectra.Put(prod)
+	if t.mem {
+		t.mu.Lock()
+		t.bwdF = bwdF
+		t.mu.Unlock()
+	}
+	return out
+}
+
+// KernelGrad computes the gradient of the loss with respect to the kernel:
+// the valid convolution of the reflected forward image with the backward
+// image, subsampled at the sparsity stride. With memoization enabled and
+// both phase spectra retained, it costs one spectrum reflection, one
+// pointwise product and one inverse transform (Table II, memoized update).
+// The memo slots are consumed: a second call recomputes from the images.
+func (t *Transformer) KernelGrad(img, bwd *tensor.Tensor) *tensor.Tensor {
+	if img.S != t.in || bwd.S != t.out {
+		panic(fmt.Sprintf("conv: kernel grad shapes img %v bwd %v, want %v and %v",
+			img.S, bwd.S, t.in, t.out))
+	}
+	if t.mth == Direct {
+		g := KernelGradDirect(img, bwd, t.k, t.sp)
+		t.cnt.addDirect(directConvFlops(t.out, t.k))
+		return g
+	}
+	t.mu.Lock()
+	imgF, bwdF := t.imgF, t.bwdF
+	t.imgF, t.bwdF = nil, nil
+	t.mu.Unlock()
+	if imgF == nil {
+		imgF = make([]complex128, t.m.Volume())
+		fft.LoadReal(imgF, t.m, img)
+		fft.NewPlan3(t.m).Forward(imgF)
+		t.cnt.addFFT(t.m)
+	}
+	if bwdF == nil {
+		bwdF = make([]complex128, t.m.Volume())
+		fft.LoadReal(bwdF, t.m, bwd)
+		fft.NewPlan3(t.m).Forward(bwdF)
+		t.cnt.addFFT(t.m)
+	}
+	// F(reflect(img)) from the memoized F(img) via the phase trick.
+	prod := mempool.Spectra.Get(t.m.Volume())
+	reflectSpectrumInto(prod, imgF, t.m, t.in)
+	t.cnt.addReflect(t.m)
+	fft.MulInto(prod, prod, bwdF)
+	t.cnt.addMul(t.m)
+	fft.NewPlan3(t.m).Inverse(prod)
+	t.cnt.addInverse(t.m)
+	// Full-convolution values at offsets (n′−1) + s·a, a = 0..k−1.
+	full := tensor.New(tensor.Shape{
+		X: t.sp.X*(t.k.X-1) + 1,
+		Y: t.sp.Y*(t.k.Y-1) + 1,
+		Z: t.sp.Z*(t.k.Z-1) + 1,
+	})
+	fft.StoreReal(full, prod, t.m, t.out.X-1, t.out.Y-1, t.out.Z-1)
+	mempool.Spectra.Put(prod)
+	return full.Subsample(0, 0, 0, t.sp, t.k)
+}
+
+// HasMemoizedSpectra reports whether both round-scoped memo slots are
+// populated (used by tests to verify the memoization lifecycle).
+func (t *Transformer) HasMemoizedSpectra() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.imgF != nil && t.bwdF != nil
+}
+
+// --- Spectral accumulation (node-level FFT-domain summation) -------------
+//
+// When every edge converging on a node uses the FFT method with the same
+// transform shape, kernel shape and sparsity, the node can sum the edges'
+// FFT-domain products and run a single inverse transform: the execution
+// model the paper's Table II costs assume (f′ inverse transforms per layer
+// forward pass instead of f′·f). The four methods below compute the
+// per-edge products and the per-node finishers.
+
+// SpectralCompatible reports whether two transformers may share a node's
+// spectral sum: same method (FFT), transform shape, kernel shape and
+// sparsity (the crop offsets must agree).
+func (t *Transformer) SpectralCompatible(o *Transformer) bool {
+	return t.mth == FFT && o.mth == FFT &&
+		t.m == o.m && t.k == o.k && t.sp == o.sp && t.out == o.out && t.in == o.in
+}
+
+// ForwardProduct computes the edge's FFT-domain forward product
+// F(img)·F(kernel) into a pooled buffer (ownership passes to the caller,
+// typically a wsum.ComplexSum). Memoization records the image spectrum
+// exactly as Forward does.
+func (t *Transformer) ForwardProduct(img, ker *tensor.Tensor, sc *SpectrumCache) []complex128 {
+	if t.mth != FFT {
+		panic("conv: ForwardProduct on a direct-method transformer")
+	}
+	if img.S != t.in {
+		panic(fmt.Sprintf("conv: forward image %v, want %v", img.S, t.in))
+	}
+	var imgF []complex128
+	if sc != nil {
+		imgF = sc.Get(t.m, t.cnt)
+	} else {
+		imgF = make([]complex128, t.m.Volume())
+		fft.LoadReal(imgF, t.m, img)
+		fft.NewPlan3(t.m).Forward(imgF)
+		t.cnt.addFFT(t.m)
+	}
+	kf, _ := t.kernelSpectra(ker)
+	prod := mempool.Spectra.Get(t.m.Volume())
+	fft.MulInto(prod, imgF, kf)
+	t.cnt.addMul(t.m)
+	if t.mem {
+		t.mu.Lock()
+		t.imgF = imgF
+		t.mu.Unlock()
+	}
+	return prod
+}
+
+// FinishForward inverts an accumulated forward spectrum, crops the valid
+// region, and releases the buffer to the pool.
+func (t *Transformer) FinishForward(spec []complex128) *tensor.Tensor {
+	fft.NewPlan3(t.m).Inverse(spec)
+	t.cnt.addInverse(t.m)
+	out := tensor.New(t.out)
+	fft.StoreReal(out, spec, t.m,
+		t.sp.X*(t.k.X-1), t.sp.Y*(t.k.Y-1), t.sp.Z*(t.k.Z-1))
+	mempool.Spectra.Put(spec)
+	return out
+}
+
+// BackwardProduct computes the edge's FFT-domain backward product
+// F(bwd)·F(reflected kernel) into a pooled buffer.
+func (t *Transformer) BackwardProduct(bwd, ker *tensor.Tensor, sc *SpectrumCache) []complex128 {
+	if t.mth != FFT {
+		panic("conv: BackwardProduct on a direct-method transformer")
+	}
+	if bwd.S != t.out {
+		panic(fmt.Sprintf("conv: backward image %v, want %v", bwd.S, t.out))
+	}
+	var bwdF []complex128
+	if sc != nil {
+		bwdF = sc.Get(t.m, t.cnt)
+	} else {
+		bwdF = make([]complex128, t.m.Volume())
+		fft.LoadReal(bwdF, t.m, bwd)
+		fft.NewPlan3(t.m).Forward(bwdF)
+		t.cnt.addFFT(t.m)
+	}
+	_, kfr := t.kernelSpectra(ker)
+	prod := mempool.Spectra.Get(t.m.Volume())
+	fft.MulInto(prod, bwdF, kfr)
+	t.cnt.addMul(t.m)
+	if t.mem {
+		t.mu.Lock()
+		t.bwdF = bwdF
+		t.mu.Unlock()
+	}
+	return prod
+}
+
+// FinishBackward inverts an accumulated backward spectrum, crops the full
+// region (the input shape), and releases the buffer.
+func (t *Transformer) FinishBackward(spec []complex128) *tensor.Tensor {
+	fft.NewPlan3(t.m).Inverse(spec)
+	t.cnt.addInverse(t.m)
+	out := tensor.New(t.in)
+	fft.StoreReal(out, spec, t.m, 0, 0, 0)
+	mempool.Spectra.Put(spec)
+	return out
+}

@@ -1,0 +1,288 @@
+// Package data generates synthetic training data for the examples and
+// benchmark harness.
+//
+// The paper's applications train on 3D electron-microscopy volumes for
+// neuronal boundary detection [13][21][23]; such data is not
+// redistributable, so this package synthesizes volumes with the same
+// structure: piecewise-constant "cell bodies" separated by thin membrane
+// sheets, with the ground truth being the membrane (boundary) mask. The
+// content of the training data does not influence the paper's wall-clock
+// experiments; the generator exists so the examples learn something
+// meaningful end to end.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"znn/internal/tensor"
+)
+
+// Sample is one training pair: an input volume and the desired output(s)
+// cropped to the network's output patch.
+type Sample struct {
+	Input   *tensor.Tensor
+	Desired []*tensor.Tensor
+}
+
+// Provider produces training samples; implementations are deterministic
+// given their seed.
+type Provider interface {
+	Next() Sample
+}
+
+// RandomProvider emits uniform-noise inputs with uniform-noise targets.
+// It is the workload used for the scalability measurements (Figs. 5–7),
+// where data content is irrelevant and generation must be cheap.
+type RandomProvider struct {
+	In      tensor.Shape
+	Out     tensor.Shape
+	Outputs int
+	rng     *rand.Rand
+}
+
+// NewRandomProvider builds a provider with the given shapes and seed.
+func NewRandomProvider(in, out tensor.Shape, outputs int, seed int64) *RandomProvider {
+	if outputs < 1 {
+		panic(fmt.Sprintf("data: outputs must be ≥ 1, got %d", outputs))
+	}
+	return &RandomProvider{In: in, Out: out, Outputs: outputs, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns a fresh random sample.
+func (p *RandomProvider) Next() Sample {
+	s := Sample{Input: tensor.RandomUniform(p.rng, p.In, -1, 1)}
+	for i := 0; i < p.Outputs; i++ {
+		s.Desired = append(s.Desired, tensor.RandomUniform(p.rng, p.Out, 0, 1))
+	}
+	return s
+}
+
+// BoundaryVolume is a synthetic EM-like volume: a Voronoi partition of
+// random seed points ("cells") with smoothly varying interior intensity,
+// and a boundary mask marking voxels whose nearest-seed differs from a
+// neighbor's (the "membranes").
+type BoundaryVolume struct {
+	Image    *tensor.Tensor // intensities in [0, 1]
+	Boundary *tensor.Tensor // 1 on membranes, 0 inside cells
+}
+
+// GenerateBoundaryVolume synthesizes a volume of the given shape with
+// approximately the given number of cells.
+func GenerateBoundaryVolume(rng *rand.Rand, s tensor.Shape, cells int) BoundaryVolume {
+	if cells < 2 {
+		cells = 2
+	}
+	type seed struct {
+		x, y, z float64
+		tone    float64
+	}
+	seeds := make([]seed, cells)
+	for i := range seeds {
+		seeds[i] = seed{
+			x:    rng.Float64() * float64(s.X),
+			y:    rng.Float64() * float64(s.Y),
+			z:    rng.Float64() * float64(s.Z),
+			tone: 0.3 + 0.6*rng.Float64(),
+		}
+	}
+	nearest := func(x, y, z int) (int, float64) {
+		best, bd := -1, math.MaxFloat64
+		for i, sd := range seeds {
+			dx := float64(x) - sd.x
+			dy := float64(y) - sd.y
+			dz := float64(z) - sd.z
+			d := dx*dx + dy*dy + dz*dz
+			if d < bd {
+				best, bd = i, d
+			}
+		}
+		return best, bd
+	}
+	owner := make([]int, s.Volume())
+	img := tensor.New(s)
+	for z := 0; z < s.Z; z++ {
+		for y := 0; y < s.Y; y++ {
+			for x := 0; x < s.X; x++ {
+				i := s.Index(x, y, z)
+				o, _ := nearest(x, y, z)
+				owner[i] = o
+				img.Data[i] = seeds[o].tone + 0.08*rng.NormFloat64()
+			}
+		}
+	}
+	// Membranes: voxels with a differently-owned face neighbor get dark
+	// intensity and boundary label 1.
+	bnd := tensor.New(s)
+	for z := 0; z < s.Z; z++ {
+		for y := 0; y < s.Y; y++ {
+			for x := 0; x < s.X; x++ {
+				i := s.Index(x, y, z)
+				edge := false
+				if x+1 < s.X && owner[s.Index(x+1, y, z)] != owner[i] {
+					edge = true
+				}
+				if y+1 < s.Y && owner[s.Index(x, y+1, z)] != owner[i] {
+					edge = true
+				}
+				if z+1 < s.Z && owner[s.Index(x, y, z+1)] != owner[i] {
+					edge = true
+				}
+				if edge {
+					bnd.Data[i] = 1
+					img.Data[i] = 0.05 + 0.05*rng.Float64() // dark membrane
+				}
+			}
+		}
+	}
+	clamp01(img)
+	return BoundaryVolume{Image: img, Boundary: bnd}
+}
+
+func clamp01(t *tensor.Tensor) {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		} else if v > 1 {
+			t.Data[i] = 1
+		}
+	}
+}
+
+// BoundaryProvider crops training patches from a generated boundary
+// volume: the input patch is centered on the (smaller) desired output
+// patch, the geometry of valid ConvNet training.
+type BoundaryProvider struct {
+	vol      BoundaryVolume
+	in, out  tensor.Shape
+	rng      *rand.Rand
+	centered bool
+}
+
+// SetCentered rescales emitted inputs from [0,1] to [−1,1]. Zero-mean
+// inputs are the conventional preprocessing and make deep nets on this
+// task trainable with generic initialization.
+func (p *BoundaryProvider) SetCentered(c bool) { p.centered = c }
+
+// NewBoundaryProvider generates a backing volume comfortably larger than
+// the input patch and returns a provider cropping random aligned pairs.
+func NewBoundaryProvider(in, out tensor.Shape, seed int64) *BoundaryProvider {
+	if !out.Fits(in) {
+		panic(fmt.Sprintf("data: output patch %v exceeds input patch %v", out, in))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	volShape := tensor.Shape{X: in.X + 16, Y: in.Y + 16, Z: in.Z + min(16, in.Z)}
+	cells := volShape.Volume() / 600
+	return &BoundaryProvider{
+		vol: GenerateBoundaryVolume(rng, volShape, cells),
+		in:  in,
+		out: out,
+		rng: rng,
+	}
+}
+
+// Next crops a random input window and its centered output window.
+func (p *BoundaryProvider) Next() Sample {
+	vs := p.vol.Image.S
+	ox := p.rng.Intn(vs.X - p.in.X + 1)
+	oy := p.rng.Intn(vs.Y - p.in.Y + 1)
+	oz := p.rng.Intn(vs.Z - p.in.Z + 1)
+	in := p.vol.Image.CropFrom(ox, oy, oz, p.in)
+	if p.centered {
+		for i, v := range in.Data {
+			in.Data[i] = 2 * (v - 0.5)
+		}
+	}
+	// The output patch sits at the center of the input patch (the valid
+	// region of the network).
+	cx := ox + (p.in.X-p.out.X)/2
+	cy := oy + (p.in.Y-p.out.Y)/2
+	cz := oz + (p.in.Z-p.out.Z)/2
+	des := p.vol.Boundary.CropFrom(cx, cy, cz, p.out)
+	return Sample{Input: in, Desired: []*tensor.Tensor{des}}
+}
+
+// Volume exposes the backing volume (examples render slices of it).
+func (p *BoundaryProvider) Volume() BoundaryVolume { return p.vol }
+
+// TextureProvider emits samples whose target is a fixed linear filter
+// of the input — a learnable task with a known optimum, used by examples
+// and convergence tests.
+type TextureProvider struct {
+	in, out tensor.Shape
+	crop    tensor.Shape // requested target shape (centered crop of out)
+	kernel  *tensor.Tensor
+	rng     *rand.Rand
+}
+
+// NewTextureProvider builds a provider whose targets are the valid
+// convolution of the input with a random fixed kernel of extent k.
+func NewTextureProvider(in tensor.Shape, k int, seed int64) *TextureProvider {
+	rng := rand.New(rand.NewSource(seed))
+	ks := tensor.Shape{X: k, Y: k, Z: 1}
+	if in.Z > 1 {
+		ks.Z = k
+	}
+	kernel := tensor.RandomUniform(rng, ks, -0.5, 0.5)
+	out := in.ValidConv(ks, tensor.Dense())
+	return &TextureProvider{
+		in:     in,
+		out:    out,
+		crop:   out,
+		kernel: kernel,
+		rng:    rng,
+	}
+}
+
+// NewTextureProviderCropped is NewTextureProvider with targets center-
+// cropped to the given shape, so any network output patch can be matched
+// regardless of its field of view.
+func NewTextureProviderCropped(in tensor.Shape, k int, crop tensor.Shape, seed int64) *TextureProvider {
+	p := NewTextureProvider(in, k, seed)
+	if !crop.Fits(p.out) {
+		panic(fmt.Sprintf("data: crop %v exceeds filtered output %v", crop, p.out))
+	}
+	p.crop = crop
+	return p
+}
+
+// Kernel returns the generating kernel (the task's optimum).
+func (p *TextureProvider) Kernel() *tensor.Tensor { return p.kernel }
+
+// OutShape returns the target shape.
+func (p *TextureProvider) OutShape() tensor.Shape { return p.crop }
+
+// Next returns a random input and its filtered target.
+func (p *TextureProvider) Next() Sample {
+	in := tensor.RandomUniform(p.rng, p.in, -1, 1)
+	des := naiveValid(in, p.kernel)
+	if p.crop != des.S {
+		des = des.CropFrom((des.S.X-p.crop.X)/2, (des.S.Y-p.crop.Y)/2, (des.S.Z-p.crop.Z)/2, p.crop)
+	}
+	return Sample{Input: in, Desired: []*tensor.Tensor{des}}
+}
+
+// naiveValid is a local valid convolution (data must not depend on conv to
+// keep the package DAG shallow).
+func naiveValid(img, ker *tensor.Tensor) *tensor.Tensor {
+	os := img.S.ValidConv(ker.S, tensor.Dense())
+	out := tensor.New(os)
+	ks := ker.S
+	for z := 0; z < os.Z; z++ {
+		for y := 0; y < os.Y; y++ {
+			for x := 0; x < os.X; x++ {
+				var acc float64
+				for c := 0; c < ks.Z; c++ {
+					for b := 0; b < ks.Y; b++ {
+						for a := 0; a < ks.X; a++ {
+							acc += img.At(x+ks.X-1-a, y+ks.Y-1-b, z+ks.Z-1-c) * ker.At(a, b, c)
+						}
+					}
+				}
+				out.Set(x, y, z, acc)
+			}
+		}
+	}
+	return out
+}

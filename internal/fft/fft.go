@@ -1,0 +1,354 @@
+// Package fft implements the fast Fourier transforms that back ZNN's
+// FFT-based convolution (Section IV of the paper).
+//
+// The original ZNN delegates to fftw or Intel MKL; this package is a
+// self-contained pure-Go replacement with the same asymptotics:
+//
+//   - iterative-free recursive mixed-radix Cooley-Tukey for lengths whose
+//     prime factors are all ≤ 5 (the sizes GoodSize produces),
+//   - Bluestein's chirp-z algorithm for arbitrary lengths, and
+//   - separable 3D transforms built from cached 1D plans.
+//
+// Plans are safe for concurrent use by multiple workers; per-call scratch
+// comes from sync.Pool so steady-state transforms do not allocate.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// maxRadix is the largest prime factor handled by the mixed-radix path.
+// Larger prime factors fall back to Bluestein.
+const maxRadix = 5
+
+// Plan holds the precomputed twiddle factors for 1D complex transforms of a
+// fixed length.
+type Plan struct {
+	n       int
+	factors []int        // mixed-radix factorization (empty when bluestein != nil)
+	w       []complex128 // w[k] = exp(-2πi k/n), forward twiddles
+	winv    []complex128 // conjugate twiddles for the inverse transform
+	blue    *bluestein   // non-nil when n has a prime factor > maxRadix
+
+	scratch sync.Pool // *[]complex128 of length n
+}
+
+var (
+	planMu    sync.Mutex
+	planCache = map[int]*Plan{}
+)
+
+// NewPlan returns a (cached) plan for transforms of length n. It panics for
+// n < 1.
+//
+// Construction happens outside the cache lock because Bluestein plans
+// recursively create their inner power-of-two plan; two goroutines racing
+// on the same uncached length may both build it, and the first to publish
+// wins.
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic(fmt.Sprintf("fft: invalid transform length %d", n))
+	}
+	planMu.Lock()
+	if p, ok := planCache[n]; ok {
+		planMu.Unlock()
+		return p
+	}
+	planMu.Unlock()
+	p := newPlanUncached(n)
+	planMu.Lock()
+	defer planMu.Unlock()
+	if q, ok := planCache[n]; ok {
+		return q
+	}
+	planCache[n] = p
+	return p
+}
+
+func newPlanUncached(n int) *Plan {
+	p := &Plan{n: n}
+	p.scratch.New = func() any {
+		s := make([]complex128, n)
+		return &s
+	}
+	factors, rem := factorize(n)
+	if rem == 1 {
+		p.factors = factors
+		p.w = twiddles(n, -1)
+		p.winv = twiddles(n, +1)
+	} else {
+		p.blue = newBluestein(n)
+	}
+	return p
+}
+
+// Len returns the transform length.
+func (p *Plan) Len() int { return p.n }
+
+// twiddles returns the n roots of unity exp(sign·2πi k/n).
+func twiddles(n int, sign float64) []complex128 {
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		ang := sign * 2 * math.Pi * float64(k) / float64(n)
+		w[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	return w
+}
+
+// factorize splits n into factors in {4, 2, 3, 5} (4 first so the common
+// power-of-two case uses radix-4 butterflies), returning the factor list and
+// the remaining co-factor, which is 1 iff n is 5-smooth.
+func factorize(n int) (factors []int, rem int) {
+	rem = n
+	for rem%4 == 0 {
+		factors = append(factors, 4)
+		rem /= 4
+	}
+	for rem%2 == 0 {
+		factors = append(factors, 2)
+		rem /= 2
+	}
+	for rem%3 == 0 {
+		factors = append(factors, 3)
+		rem /= 3
+	}
+	for rem%5 == 0 {
+		factors = append(factors, 5)
+		rem /= 5
+	}
+	return factors, rem
+}
+
+// GoodSize returns the smallest 5-smooth integer ≥ n. FFT convolution pads
+// images to good sizes so the fast mixed-radix path is always taken.
+func GoodSize(n int) int {
+	if n < 1 {
+		return 1
+	}
+	for m := n; ; m++ {
+		if _, rem := factorize(m); rem == 1 {
+			return m
+		}
+	}
+}
+
+// Forward computes the in-place forward DFT of data, whose length must equal
+// the plan length.
+func (p *Plan) Forward(data []complex128) { p.transform(data, false) }
+
+// Inverse computes the in-place inverse DFT of data, including the 1/n
+// normalization.
+func (p *Plan) Inverse(data []complex128) {
+	p.transform(data, true)
+	scale := 1 / float64(p.n)
+	for i := range data {
+		data[i] = complex(real(data[i])*scale, imag(data[i])*scale)
+	}
+}
+
+// InverseUnscaled computes the inverse DFT without the 1/n factor. FFT
+// convolution folds the normalization into a single pass over the product.
+func (p *Plan) InverseUnscaled(data []complex128) { p.transform(data, true) }
+
+func (p *Plan) transform(data []complex128, inverse bool) {
+	if len(data) != p.n {
+		panic(fmt.Sprintf("fft: data length %d does not match plan length %d", len(data), p.n))
+	}
+	if p.n == 1 {
+		return
+	}
+	if p.blue != nil {
+		p.blue.transform(data, inverse)
+		return
+	}
+	sp := p.scratch.Get().(*[]complex128)
+	src := *sp
+	copy(src, data)
+	w := p.w
+	if inverse {
+		w = p.winv
+	}
+	p.rec(data, src, p.n, 1, 0, w)
+	p.scratch.Put(sp)
+}
+
+// rec computes the DFT of the length-n subsequence of src starting at
+// offset 0 with the given stride, writing the contiguous result into dst.
+// w is the full-length twiddle table for the chosen direction.
+func (p *Plan) rec(dst, src []complex128, n, stride, fi int, w []complex128) {
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	radix := p.factors[fi]
+	m := n / radix
+	for j := 0; j < radix; j++ {
+		p.rec(dst[j*m:(j+1)*m], src[j*stride:], m, stride*radix, fi+1, w)
+	}
+	// Combine the radix sub-transforms in place. For each k the reads
+	// (dst[j*m+k]) and writes (dst[q*m+k]) touch the same positions, so
+	// buffering reads in t makes the in-place update safe.
+	step := p.n / n      // twiddle stride for ω_n
+	stepR := p.n / radix // twiddle stride for ω_radix
+	var t [maxRadix]complex128
+	switch radix {
+	case 2:
+		for k := 0; k < m; k++ {
+			a := dst[k]
+			b := dst[m+k] * w[k*step]
+			dst[k] = a + b
+			dst[m+k] = a - b
+		}
+	case 4:
+		// Radix-4 butterfly: ω_4 powers are ±1, ±i.
+		neg := w[stepR] // -i forward, +i inverse
+		for k := 0; k < m; k++ {
+			a := dst[k]
+			b := dst[m+k] * w[k*step]
+			c := dst[2*m+k] * w[(2*k*step)%p.n]
+			d := dst[3*m+k] * w[(3*k*step)%p.n]
+			apc, amc := a+c, a-c
+			bpd, bmd := b+d, b-d
+			jbmd := bmd * neg
+			dst[k] = apc + bpd
+			dst[m+k] = amc + jbmd
+			dst[2*m+k] = apc - bpd
+			dst[3*m+k] = amc - jbmd
+		}
+	default:
+		for k := 0; k < m; k++ {
+			for j := 0; j < radix; j++ {
+				t[j] = dst[j*m+k] * w[(j*k*step)%p.n]
+			}
+			for q := 0; q < radix; q++ {
+				acc := t[0]
+				for j := 1; j < radix; j++ {
+					acc += t[j] * w[(j*q*stepR)%p.n]
+				}
+				dst[q*m+k] = acc
+			}
+		}
+	}
+}
+
+// bluestein implements the chirp-z transform for arbitrary lengths on top of
+// a power-of-two convolution.
+type bluestein struct {
+	n     int
+	m     int          // power-of-two convolution length ≥ 2n-1
+	chirp []complex128 // exp(-πi k²/n), k = 0..n-1
+	bHat  []complex128 // forward FFT of the chirp filter, length m
+	inner *Plan        // power-of-two plan of length m
+	pool  sync.Pool    // *[]complex128 of length m
+}
+
+func newBluestein(n int) *bluestein {
+	m := 1
+	for m < 2*n-1 {
+		m *= 2
+	}
+	b := &bluestein{n: n, m: m, inner: NewPlan(m)}
+	b.pool.New = func() any {
+		s := make([]complex128, m)
+		return &s
+	}
+	b.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k² mod 2n keeps the angle argument small and exact.
+		kk := (k * k) % (2 * n)
+		ang := -math.Pi * float64(kk) / float64(n)
+		b.chirp[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	bvec := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		c := cmplxConj(b.chirp[k])
+		bvec[k] = c
+		if k > 0 {
+			bvec[m-k] = c
+		}
+	}
+	b.inner.Forward(bvec)
+	b.bHat = bvec
+	return b
+}
+
+func (b *bluestein) transform(data []complex128, inverse bool) {
+	if inverse {
+		// IDFT(x) = conj(DFT(conj(x))) / n
+		for i := range data {
+			data[i] = cmplxConj(data[i])
+		}
+		b.forward(data)
+		scale := complex(1, 0) // caller applies 1/n when needed
+		for i := range data {
+			data[i] = cmplxConj(data[i]) * scale
+		}
+		return
+	}
+	b.forward(data)
+}
+
+func (b *bluestein) forward(data []complex128) {
+	ap := b.pool.Get().(*[]complex128)
+	a := *ap
+	for i := range a {
+		a[i] = 0
+	}
+	for k := 0; k < b.n; k++ {
+		a[k] = data[k] * b.chirp[k]
+	}
+	b.inner.Forward(a)
+	for i := range a {
+		a[i] *= b.bHat[i]
+	}
+	b.inner.Inverse(a)
+	for k := 0; k < b.n; k++ {
+		data[k] = a[k] * b.chirp[k]
+	}
+	b.pool.Put(ap)
+}
+
+func cmplxConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+var (
+	twiddleMu    sync.Mutex
+	twiddleCache = map[int][]complex128{}
+)
+
+// Twiddle returns the cached forward twiddle table for length n:
+// w[k] = exp(−2πi k/n). Callers must not modify the returned slice.
+func Twiddle(n int) []complex128 {
+	if n < 1 {
+		panic(fmt.Sprintf("fft: invalid twiddle length %d", n))
+	}
+	twiddleMu.Lock()
+	defer twiddleMu.Unlock()
+	if w, ok := twiddleCache[n]; ok {
+		return w
+	}
+	w := twiddles(n, -1)
+	twiddleCache[n] = w
+	return w
+}
+
+// NaiveDFT computes the O(n²) discrete Fourier transform, used as the
+// reference implementation in tests.
+func NaiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(k*j%n) / float64(n)
+			acc += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = acc
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package fft
+
+import (
+	"fmt"
+	"sync"
+
+	"znn/internal/tensor"
+)
+
+// Plan3 performs separable 3D transforms over a complex buffer laid out like
+// a tensor of the plan's shape (x fastest). A Plan3 is safe for concurrent
+// use.
+type Plan3 struct {
+	s          tensor.Shape
+	px, py, pz *Plan
+	linePool   sync.Pool // *[]complex128, length max(Y,Z) for strided lines
+}
+
+var (
+	plan3Mu    sync.Mutex
+	plan3Cache = map[tensor.Shape]*Plan3{}
+)
+
+// NewPlan3 returns a (cached) 3D plan for the given shape.
+func NewPlan3(s tensor.Shape) *Plan3 {
+	if !s.Valid() {
+		panic(fmt.Sprintf("fft: invalid 3D shape %v", s))
+	}
+	plan3Mu.Lock()
+	defer plan3Mu.Unlock()
+	if p, ok := plan3Cache[s]; ok {
+		return p
+	}
+	p := &Plan3{
+		s:  s,
+		px: NewPlan(s.X),
+		py: NewPlan(s.Y),
+		pz: NewPlan(s.Z),
+	}
+	m := max(s.Y, s.Z)
+	p.linePool.New = func() any {
+		b := make([]complex128, m)
+		return &b
+	}
+	plan3Cache[s] = p
+	return p
+}
+
+// Shape returns the transform shape.
+func (p *Plan3) Shape() tensor.Shape { return p.s }
+
+// GoodShape returns the elementwise smallest 5-smooth shape ≥ s.
+func GoodShape(s tensor.Shape) tensor.Shape {
+	return tensor.Shape{X: GoodSize(s.X), Y: GoodSize(s.Y), Z: GoodSize(s.Z)}
+}
+
+// Forward computes the in-place 3D forward DFT of buf.
+func (p *Plan3) Forward(buf []complex128) { p.transform(buf, false) }
+
+// Inverse computes the in-place 3D inverse DFT of buf including the 1/N
+// normalization (N = volume).
+func (p *Plan3) Inverse(buf []complex128) {
+	p.transform(buf, true)
+	scale := 1 / float64(p.s.Volume())
+	for i := range buf {
+		buf[i] = complex(real(buf[i])*scale, imag(buf[i])*scale)
+	}
+}
+
+func (p *Plan3) transform(buf []complex128, inverse bool) {
+	s := p.s
+	if len(buf) != s.Volume() {
+		panic(fmt.Sprintf("fft: buffer length %d does not match shape %v", len(buf), s))
+	}
+	dir := func(pl *Plan, line []complex128) {
+		if inverse {
+			pl.InverseUnscaled(line)
+		} else {
+			pl.Forward(line)
+		}
+	}
+	// X lines are contiguous.
+	if s.X > 1 {
+		for off := 0; off < len(buf); off += s.X {
+			dir(p.px, buf[off:off+s.X])
+		}
+	}
+	// Y lines have stride X.
+	if s.Y > 1 {
+		lp := p.linePool.Get().(*[]complex128)
+		line := (*lp)[:s.Y]
+		for z := 0; z < s.Z; z++ {
+			base := z * s.X * s.Y
+			for x := 0; x < s.X; x++ {
+				for y := 0; y < s.Y; y++ {
+					line[y] = buf[base+y*s.X+x]
+				}
+				dir(p.py, line)
+				for y := 0; y < s.Y; y++ {
+					buf[base+y*s.X+x] = line[y]
+				}
+			}
+		}
+		p.linePool.Put(lp)
+	}
+	// Z lines have stride X*Y.
+	if s.Z > 1 {
+		lp := p.linePool.Get().(*[]complex128)
+		line := (*lp)[:s.Z]
+		plane := s.X * s.Y
+		for i := 0; i < plane; i++ {
+			for z := 0; z < s.Z; z++ {
+				line[z] = buf[i+z*plane]
+			}
+			dir(p.pz, line)
+			for z := 0; z < s.Z; z++ {
+				buf[i+z*plane] = line[z]
+			}
+		}
+		p.linePool.Put(lp)
+	}
+}
+
+// LoadReal writes t into the complex buffer buf (laid out with shape s),
+// zero-padding outside t's extent. It panics if t does not fit in s.
+func LoadReal(buf []complex128, s tensor.Shape, t *tensor.Tensor) {
+	if !t.S.Fits(s) {
+		panic(fmt.Sprintf("fft: tensor %v does not fit in buffer shape %v", t.S, s))
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	for z := 0; z < t.S.Z; z++ {
+		for y := 0; y < t.S.Y; y++ {
+			src := t.Data[t.S.Index(0, y, z):]
+			off := s.Index(0, y, z)
+			for x := 0; x < t.S.X; x++ {
+				buf[off+x] = complex(src[x], 0)
+			}
+		}
+	}
+}
+
+// StoreReal extracts the real parts of a sub-volume of buf starting at
+// (ox,oy,oz) into dst.
+func StoreReal(dst *tensor.Tensor, buf []complex128, s tensor.Shape, ox, oy, oz int) {
+	d := dst.S
+	if ox < 0 || oy < 0 || oz < 0 || ox+d.X > s.X || oy+d.Y > s.Y || oz+d.Z > s.Z {
+		panic(fmt.Sprintf("fft: store region %v at (%d,%d,%d) out of range of %v", d, ox, oy, oz, s))
+	}
+	for z := 0; z < d.Z; z++ {
+		for y := 0; y < d.Y; y++ {
+			off := s.Index(ox, oy+y, oz+z)
+			row := dst.Data[d.Index(0, y, z):]
+			for x := 0; x < d.X; x++ {
+				row[x] = real(buf[off+x])
+			}
+		}
+	}
+}
+
+// MulInto computes dst[i] = a[i]*b[i] elementwise; dst may alias a or b.
+func MulInto(dst, a, b []complex128) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("fft: MulInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// MulAccInto computes dst[i] += a[i]*b[i] elementwise, the accumulation used
+// when several FFT-domain products converge on one node.
+func MulAccInto(dst, a, b []complex128) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("fft: MulAccInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] += a[i] * b[i]
+	}
+}

@@ -1,0 +1,96 @@
+package fft
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"znn/internal/tensor"
+)
+
+// Regression test: constructing a Bluestein plan recursively creates its
+// inner power-of-two plan; an early version held the global plan-cache
+// lock across construction and self-deadlocked. Guard with a timeout.
+func TestBluesteinPlanConstructionDoesNotDeadlock(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		// 97 is prime and large enough that its inner plan (256) is not
+		// pre-cached in a fresh length.
+		p := NewPlan(9973) // large prime, certainly uncached inner size
+		x := make([]complex128, 9973)
+		x[1] = 1
+		p.Forward(x)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Bluestein plan construction deadlocked")
+	}
+}
+
+// Concurrent creation of the same uncached plan must be safe and must
+// return a working plan on every goroutine.
+func TestConcurrentPlanCreation(t *testing.T) {
+	// Use lengths unlikely to be cached by other tests.
+	lengths := []int{3851, 3853, 3863} // primes → Bluestein
+	for _, n := range lengths {
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p := NewPlan(n)
+				x := make([]complex128, n)
+				for i := range x {
+					x[i] = complex(float64(i%7), 0)
+				}
+				orig := append([]complex128(nil), x...)
+				p.Forward(x)
+				p.Inverse(x)
+				if maxErr(x, orig) > 1e-6 {
+					errs <- "round trip failed"
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+	}
+}
+
+// 3D plans with a Bluestein axis must agree with zero-padded 5-smooth
+// computation of the same convolution-relevant property (round trip).
+func TestPlan3BluesteinAxes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := tensor.S3(7, 11, 13) // all prime axes
+	p := NewPlan3(s)
+	buf := randComplex(rng, s.Volume())
+	got := append([]complex128(nil), buf...)
+	p.Forward(got)
+	p.Inverse(got)
+	if e := maxErr(got, buf); e > 1e-9 {
+		t.Errorf("prime-axis 3D round trip error %g", e)
+	}
+}
+
+func TestTwiddleCachedAndCorrect(t *testing.T) {
+	w := Twiddle(8)
+	if &w[0] != &Twiddle(8)[0] {
+		t.Error("Twiddle not cached")
+	}
+	// w[2] = exp(-2πi·2/8) = -i.
+	if d := w[2] - complex(0, -1); real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+		t.Errorf("w[2] = %v, want -i", w[2])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Twiddle(0) did not panic")
+		}
+	}()
+	Twiddle(0)
+}

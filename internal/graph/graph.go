@@ -1,0 +1,246 @@
+// Package graph defines ZNN's computation graph (Section II of the paper):
+// a DAG whose nodes represent 3D images and whose edges represent image
+// filtering operations (convolution, max-pooling, max-filtering, transfer
+// function, and the dropout extension).
+//
+// The package also computes the two strict node orderings of Section VI-A —
+// by longest distance to any output node and to any input node — which the
+// scheduler turns into forward and backward task priorities.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"znn/internal/tensor"
+)
+
+// Node is one image site in the computation graph.
+type Node struct {
+	ID    int
+	Name  string
+	Shape tensor.Shape
+	In    []*Edge
+	Out   []*Edge
+
+	// FwdPrio and BwdPrio are the scheduler priorities derived from the
+	// strict orderings (higher value = scheduled earlier). Populated by
+	// ComputePriorities.
+	FwdPrio int64
+	BwdPrio int64
+}
+
+// IsInput reports whether the node has no incoming edges.
+func (n *Node) IsInput() bool { return len(n.In) == 0 }
+
+// IsOutput reports whether the node has no outgoing edges.
+func (n *Node) IsOutput() bool { return len(n.Out) == 0 }
+
+func (n *Node) String() string { return fmt.Sprintf("%s(%v)", n.Name, n.Shape) }
+
+// Edge connects two nodes with an operation.
+type Edge struct {
+	ID   int
+	From *Node
+	To   *Node
+	Op   Op
+}
+
+func (e *Edge) String() string {
+	return fmt.Sprintf("%s -[%s]-> %s", e.From.Name, e.Op.Kind(), e.To.Name)
+}
+
+// Graph is a directed acyclic computation graph.
+type Graph struct {
+	Nodes []*Node
+	Edges []*Edge
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddNode creates a node with the given name and image shape.
+func (g *Graph) AddNode(name string, shape tensor.Shape) *Node {
+	if !shape.Valid() {
+		panic(fmt.Sprintf("graph: invalid node shape %v", shape))
+	}
+	n := &Node{ID: len(g.Nodes), Name: name, Shape: shape}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// Connect adds an edge from u to v with the given op. It validates that the
+// op maps u's shape exactly onto v's shape.
+func (g *Graph) Connect(u, v *Node, op Op) *Edge {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on %s", u.Name))
+	}
+	got := op.OutShape(u.Shape)
+	if got != v.Shape {
+		panic(fmt.Sprintf("graph: op %s maps %s to %v, but target %s has shape %v",
+			op.Kind(), u.Name, got, v.Name, v.Shape))
+	}
+	e := &Edge{ID: len(g.Edges), From: u, To: v, Op: op}
+	g.Edges = append(g.Edges, e)
+	u.Out = append(u.Out, e)
+	v.In = append(v.In, e)
+	return e
+}
+
+// Inputs returns the nodes with no incoming edges.
+func (g *Graph) Inputs() []*Node {
+	var in []*Node
+	for _, n := range g.Nodes {
+		if n.IsInput() {
+			in = append(in, n)
+		}
+	}
+	return in
+}
+
+// Outputs returns the nodes with no outgoing edges.
+func (g *Graph) Outputs() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.IsOutput() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TopoSort returns the nodes in a topological order, or an error if the
+// graph has a cycle.
+func (g *Graph) TopoSort() ([]*Node, error) {
+	indeg := make([]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		indeg[e.To.ID]++
+	}
+	var queue []*Node
+	for _, n := range g.Nodes {
+		if indeg[n.ID] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	var order []*Node
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, e := range n.Out {
+			indeg[e.To.ID]--
+			if indeg[e.To.ID] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d nodes orderable)",
+			len(order), len(g.Nodes))
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: acyclicity, at least one input and
+// output, and shape consistency (enforced at Connect, re-checked here).
+func (g *Graph) Validate() error {
+	if len(g.Nodes) == 0 {
+		return fmt.Errorf("graph: empty graph")
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	if len(g.Inputs()) == 0 {
+		return fmt.Errorf("graph: no input nodes")
+	}
+	if len(g.Outputs()) == 0 {
+		return fmt.Errorf("graph: no output nodes")
+	}
+	for _, e := range g.Edges {
+		if got := e.Op.OutShape(e.From.Shape); got != e.To.Shape {
+			return fmt.Errorf("graph: edge %s output shape %v does not match node %v",
+				e, got, e.To.Shape)
+		}
+	}
+	return nil
+}
+
+// longestDistanceTo computes, for every node, the longest path length (in
+// edges) to any node in the sink set, following edges in the given
+// direction (+1 = along Out, −1 = along In). Unreachable nodes get −1.
+func (g *Graph) longestDistanceTo(sinks func(*Node) bool, forward bool) []int {
+	order, err := g.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	dist := make([]int, len(g.Nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	// Walk in reverse topological order for distances along Out edges,
+	// forward order for distances along In edges.
+	walk := order
+	if forward {
+		walk = make([]*Node, len(order))
+		for i, n := range order {
+			walk[len(order)-1-i] = n
+		}
+	}
+	for _, n := range walk {
+		if sinks(n) {
+			dist[n.ID] = 0
+		}
+		var succs []*Edge
+		if forward {
+			succs = n.Out
+		} else {
+			succs = n.In
+		}
+		for _, e := range succs {
+			var next *Node
+			if forward {
+				next = e.To
+			} else {
+				next = e.From
+			}
+			if dist[next.ID] >= 0 && dist[next.ID]+1 > dist[n.ID] {
+				dist[n.ID] = dist[next.ID] + 1
+			}
+		}
+	}
+	return dist
+}
+
+// ComputePriorities derives the scheduler priorities of Section VI-A.
+// Nodes are strictly ordered by longest distance to any output node
+// (forward) and to any input node (backward), in decreasing order, with
+// node ID as the unique tiebreaker; the priority value is higher for nodes
+// earlier in the ordering, so tasks with the longest remaining path are
+// scheduled first. Update tasks use UpdatePriority, strictly below all of
+// these.
+func (g *Graph) ComputePriorities() {
+	distOut := g.longestDistanceTo(func(n *Node) bool { return n.IsOutput() }, true)
+	distIn := g.longestDistanceTo(func(n *Node) bool { return n.IsInput() }, false)
+	assign := func(dist []int, set func(n *Node, prio int64)) {
+		idx := make([]int, len(g.Nodes))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if dist[idx[a]] != dist[idx[b]] {
+				return dist[idx[a]] > dist[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		// Position 0 (farthest) gets the highest priority value.
+		for pos, id := range idx {
+			set(g.Nodes[id], int64(len(idx)-pos))
+		}
+	}
+	assign(distOut, func(n *Node, p int64) { n.FwdPrio = p })
+	assign(distIn, func(n *Node, p int64) { n.BwdPrio = p })
+}
+
+// UpdatePriority is the queue priority of update tasks: strictly lower than
+// any node priority (node priorities start at 1).
+const UpdatePriority int64 = 0

@@ -1,0 +1,191 @@
+// Package mempool implements ZNN's pooled memory allocators
+// (Section VII-C of the paper).
+//
+// The paper maintains 32 global pools of memory chunks, pool i holding
+// chunks of 2^i bytes, with lock-free queues for the free lists; memory is
+// never returned to the system, trading at most a 2x space overhead for
+// allocation speed. This package reproduces that design for float64 and
+// complex128 buffers: requests round up to the next power of two and free
+// lists are lock-free Treiber stacks (Go's GC eliminates the ABA hazard the
+// original's boost::lockfree queues must guard against).
+package mempool
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// numClasses mirrors the paper's 32 power-of-two pools.
+const numClasses = 32
+
+// Stats reports allocator behaviour for the pool benchmarks (experiment E13).
+type Stats struct {
+	Hits      int64 // Get calls satisfied from a free list
+	Misses    int64 // Get calls that had to allocate
+	Puts      int64 // chunks returned
+	LiveBytes int64 // bytes currently handed out
+	PoolBytes int64 // bytes parked in free lists
+}
+
+// Float64Pool is a size-classed pool of []float64 chunks.
+type Float64Pool struct {
+	classes [numClasses]stack[[]float64]
+	stats   statCounters
+}
+
+// Complex128Pool is a size-classed pool of []complex128 chunks (used for
+// FFT work buffers).
+type Complex128Pool struct {
+	classes [numClasses]stack[[]complex128]
+	stats   statCounters
+}
+
+type statCounters struct {
+	hits, misses, puts atomic.Int64
+	liveBytes          atomic.Int64
+	poolBytes          atomic.Int64
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		LiveBytes: c.liveBytes.Load(),
+		PoolBytes: c.poolBytes.Load(),
+	}
+}
+
+// classFor returns the size class for a request of n elements: the smallest
+// i with 2^i ≥ n.
+func classFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a zeroed slice of length n backed by a chunk of capacity
+// 2^class. The chunk may be reused; contents are always cleared before
+// return so callers can rely on zero initialization exactly as with make.
+func (p *Float64Pool) Get(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	cls := classFor(n)
+	cap := 1 << cls
+	p.stats.liveBytes.Add(int64(cap) * 8)
+	if buf, ok := p.classes[cls].pop(); ok {
+		p.stats.hits.Add(1)
+		p.stats.poolBytes.Add(-int64(cap) * 8)
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	p.stats.misses.Add(1)
+	return make([]float64, n, cap)
+}
+
+// Put returns a chunk to the pool. The slice must have been obtained from
+// Get (its capacity must be a power of two); Put never returns memory to
+// the runtime, matching the paper's allocator.
+func (p *Float64Pool) Put(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	cls := classFor(cap(buf))
+	if 1<<cls != cap(buf) {
+		panic("mempool: Put of slice with non-power-of-two capacity")
+	}
+	p.stats.puts.Add(1)
+	p.stats.liveBytes.Add(-int64(cap(buf)) * 8)
+	p.stats.poolBytes.Add(int64(cap(buf)) * 8)
+	p.classes[cls].push(buf[:cap(buf)])
+}
+
+// Stats returns a snapshot of the allocator counters.
+func (p *Float64Pool) Stats() Stats { return p.stats.snapshot() }
+
+// Get returns a zeroed []complex128 of length n, reusing pooled chunks.
+func (p *Complex128Pool) Get(n int) []complex128 {
+	if n == 0 {
+		return nil
+	}
+	cls := classFor(n)
+	cap := 1 << cls
+	p.stats.liveBytes.Add(int64(cap) * 16)
+	if buf, ok := p.classes[cls].pop(); ok {
+		p.stats.hits.Add(1)
+		p.stats.poolBytes.Add(-int64(cap) * 16)
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	p.stats.misses.Add(1)
+	return make([]complex128, n, cap)
+}
+
+// Put returns a chunk to the pool.
+func (p *Complex128Pool) Put(buf []complex128) {
+	if cap(buf) == 0 {
+		return
+	}
+	cls := classFor(cap(buf))
+	if 1<<cls != cap(buf) {
+		panic("mempool: Put of slice with non-power-of-two capacity")
+	}
+	p.stats.puts.Add(1)
+	p.stats.liveBytes.Add(-int64(cap(buf)) * 16)
+	p.stats.poolBytes.Add(int64(cap(buf)) * 16)
+	p.classes[cls].push(buf[:cap(buf)])
+}
+
+// Stats returns a snapshot of the allocator counters.
+func (p *Complex128Pool) Stats() Stats { return p.stats.snapshot() }
+
+// stack is a lock-free Treiber stack. Nodes are heap-allocated per push;
+// the garbage collector reclaims them, which also removes the ABA problem.
+type stack[T any] struct {
+	head atomic.Pointer[node[T]]
+}
+
+type node[T any] struct {
+	v    T
+	next *node[T]
+}
+
+func (s *stack[T]) push(v T) {
+	n := &node[T]{v: v}
+	for {
+		old := s.head.Load()
+		n.next = old
+		if s.head.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+func (s *stack[T]) pop() (T, bool) {
+	for {
+		old := s.head.Load()
+		if old == nil {
+			var zero T
+			return zero, false
+		}
+		if s.head.CompareAndSwap(old, old.next) {
+			return old.v, true
+		}
+	}
+}
+
+// Default pools shared by the runtime, mirroring the paper's two global
+// allocators (one for large 3D images, one for small auxiliary buffers —
+// here the split is by element type instead of alignment).
+var (
+	Images  Float64Pool
+	Spectra Complex128Pool
+)

@@ -1,0 +1,310 @@
+// Package model implements the paper's analytical cost model: the FLOP
+// formulas of Tables I and II, the infinite-processor times of Tables III
+// and IV, and the theoretically achievable speedup of Eq. (2) derived from
+// Brent's theorem — the generator behind Fig. 4.
+//
+// Complexity is measured in floating point operations. The FFT of a volume
+// with V voxels is modeled as C·V·log₂V with C = FFTConstant (the paper's
+// footnote sets C = 5 for Fig. 4); the paper writes this as 3Cn³·log n for
+// an n×n×n volume.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"znn/internal/net"
+)
+
+// FFTConstant is C in the FFT cost model (the paper's Fig. 4 uses 5).
+const FFTConstant = 5.0
+
+// Mode selects the convolution cost model of Table II.
+type Mode int
+
+const (
+	// Direct is spatial convolution.
+	Direct Mode = iota
+	// FFT is frequency-domain convolution without memoization.
+	FFT
+	// FFTMemo is frequency-domain convolution with memoized transforms.
+	FFTMemo
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Direct:
+		return "direct"
+	case FFT:
+		return "fft"
+	case FFTMemo:
+		return "fft-memo"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// fftCost returns C·V·log₂V, the model cost of one transform of V voxels.
+func fftCost(v float64) float64 {
+	if v <= 1 {
+		return 0
+	}
+	return FFTConstant * v * math.Log2(v)
+}
+
+// PassCost groups the three phases of one layer's cost.
+type PassCost struct {
+	Forward  float64
+	Backward float64
+	Update   float64
+}
+
+// Total returns the summed cost of all phases.
+func (p PassCost) Total() float64 { return p.Forward + p.Backward + p.Update }
+
+// Add returns the phase-wise sum of two costs.
+func (p PassCost) Add(q PassCost) PassCost {
+	return PassCost{p.Forward + q.Forward, p.Backward + q.Backward, p.Update + q.Update}
+}
+
+// ConvLayerT1 returns the serial FLOPs of one fully connected convolutional
+// layer per Table II. v is the input image voxel count, vOut the output
+// image voxel count, kVol the kernel voxel count, f/fp the input/output
+// widths.
+func ConvLayerT1(m Mode, v, vOut, kVol float64, f, fp float64) PassCost {
+	switch m {
+	case Direct:
+		per := fp * f * vOut * kVol
+		return PassCost{per, per, per}
+	case FFT:
+		t := fftCost(v)
+		pass := t*(fp+f+fp*f) + 4*fp*f*v
+		return PassCost{pass, pass, pass}
+	default: // FFTMemo
+		t := fftCost(v)
+		return PassCost{
+			Forward:  t*(fp+f+fp*f) + 4*fp*f*v,
+			Backward: t*(fp+f) + 4*fp*f*v,
+			Update:   t*(fp*f) + 4*fp*f*v,
+		}
+	}
+}
+
+// ConvLayerTinf returns the infinite-processor time of one fully connected
+// convolutional layer per Table III.
+func ConvLayerTinf(m Mode, v, vOut, kVol float64, f, fp float64) PassCost {
+	logF := math.Ceil(math.Log2(math.Max(f, 2)))
+	logFp := math.Ceil(math.Log2(math.Max(fp, 2)))
+	if f <= 1 {
+		logF = 0
+	}
+	if fp <= 1 {
+		logFp = 0
+	}
+	switch m {
+	case Direct:
+		return PassCost{
+			Forward:  vOut*kVol + vOut*logF,
+			Backward: vOut*kVol + v*logFp,
+			Update:   vOut * kVol,
+		}
+	case FFT:
+		t := 2 * fftCost(v) // the paper's 6Cn³ log n = 2·(3Cn³ log n)
+		return PassCost{
+			Forward:  t + 4*v*logF,
+			Backward: t + 4*v*logFp,
+			Update:   t + 4*v,
+		}
+	default: // FFTMemo: update needs only one transform (3Cn³ log n).
+		t := 2 * fftCost(v)
+		return PassCost{
+			Forward:  t + 4*v*logF,
+			Backward: t + 4*v*logFp,
+			Update:   fftCost(v) + 4*v,
+		}
+	}
+}
+
+// PoolLayerT1 returns Table I's max-pooling row: f·n³ forward and backward.
+func PoolLayerT1(v float64, f float64) PassCost {
+	return PassCost{Forward: f * v, Backward: f * v}
+}
+
+// FilterLayerT1 returns Table I's max-filtering row: f·6n³·log k forward,
+// f·n³ backward. k is the linear window extent.
+func FilterLayerT1(v float64, f float64, k float64) PassCost {
+	return PassCost{Forward: f * 6 * v * math.Log2(math.Max(k, 2)), Backward: f * v}
+}
+
+// TransferLayerT1 returns Table I's transfer row: f·n³ for every phase.
+func TransferLayerT1(v float64, f float64) PassCost {
+	return PassCost{Forward: f * v, Backward: f * v, Update: f * v}
+}
+
+// PoolLayerTinf, FilterLayerTinf and TransferLayerTinf return Table IV's
+// rows (widths drop out: all nodes run in parallel).
+func PoolLayerTinf(v float64) PassCost { return PassCost{Forward: v, Backward: v} }
+
+// FilterLayerTinf returns Table IV's max-filtering row.
+func FilterLayerTinf(v float64, k float64) PassCost {
+	return PassCost{Forward: 6 * v * math.Log2(math.Max(k, 2)), Backward: v}
+}
+
+// TransferLayerTinf returns Table IV's transfer row.
+func TransferLayerTinf(v float64) PassCost {
+	return PassCost{Forward: v, Backward: v, Update: v}
+}
+
+// NetCost describes the estimated cost of one gradient iteration of a
+// layered network.
+type NetCost struct {
+	T1   float64 // serial time (FLOPs)
+	Tinf float64 // infinite-processor time (FLOPs)
+}
+
+// Sinf returns the maximum speedup T1/T∞.
+func (c NetCost) Sinf() float64 {
+	if c.Tinf == 0 {
+		return 1
+	}
+	return c.T1 / c.Tinf
+}
+
+// Speedup returns the theoretically achievable speedup with P processors
+// per Eq. (2): S∞ / (1 + (S∞−1)/P).
+func (c NetCost) Speedup(p float64) float64 {
+	sinf := c.Sinf()
+	return sinf / (1 + (sinf-1)/p)
+}
+
+// Geometry describes the layered network whose cost is being modeled.
+type Geometry struct {
+	Spec      net.Spec
+	Width     int // hidden conv layer width f
+	InWidth   int // input node count (default 1)
+	OutWidth  int // final conv layer width (default 1)
+	Dims      int // 2 or 3
+	OutExtent int // output patch extent
+}
+
+// Estimate walks the spec, accumulating Tables I–IV layer costs. The T∞
+// estimate sums forward and backward phases over layers (layers run
+// sequentially) and takes the max over update phases (all updates run in
+// parallel), exactly as in Section V-A.
+func Estimate(g Geometry, m Mode) (NetCost, error) {
+	if g.InWidth == 0 {
+		g.InWidth = 1
+	}
+	if g.OutWidth == 0 {
+		g.OutWidth = 1
+	}
+	if g.Dims == 0 {
+		g.Dims = 3
+	}
+	inExtent, err := g.Spec.InputExtent(g.OutExtent)
+	if err != nil {
+		return NetCost{}, err
+	}
+	vol := func(extent int) float64 {
+		e := float64(extent)
+		if g.Dims == 2 {
+			return e * e
+		}
+		return e * e * e
+	}
+
+	lastConv := -1
+	for i, l := range g.Spec.Layers {
+		if l.Kind == net.ConvLayer {
+			lastConv = i
+		}
+	}
+
+	var t1 float64
+	var tinfFwdBwd float64
+	var tinfUpdateMax float64
+
+	extent := inExtent
+	width := g.InWidth
+	sparsity := 1
+	for li, l := range g.Spec.Layers {
+		v := vol(extent)
+		switch l.Kind {
+		case net.ConvLayer:
+			outWidth := g.Width
+			if li == lastConv {
+				outWidth = g.OutWidth
+			}
+			outExtent := extent - sparsity*(l.Window-1)
+			vOut := vol(outExtent)
+			kVol := float64(l.Window * l.Window)
+			if g.Dims == 3 {
+				kVol *= float64(l.Window)
+			}
+			c1 := ConvLayerT1(m, v, vOut, kVol, float64(width), float64(outWidth))
+			ci := ConvLayerTinf(m, v, vOut, kVol, float64(width), float64(outWidth))
+			t1 += c1.Total()
+			tinfFwdBwd += ci.Forward + ci.Backward
+			tinfUpdateMax = math.Max(tinfUpdateMax, ci.Update)
+			extent, width = outExtent, outWidth
+		case net.TransferLayer:
+			c1 := TransferLayerT1(v, float64(width))
+			ci := TransferLayerTinf(v)
+			t1 += c1.Total()
+			tinfFwdBwd += ci.Forward + ci.Backward
+			tinfUpdateMax = math.Max(tinfUpdateMax, ci.Update)
+		case net.PoolLayer:
+			c1 := PoolLayerT1(v, float64(width))
+			ci := PoolLayerTinf(v)
+			t1 += c1.Total()
+			tinfFwdBwd += ci.Forward + ci.Backward
+			extent /= l.Window
+		case net.FilterLayer:
+			c1 := FilterLayerT1(v, float64(width), float64(l.Window))
+			ci := FilterLayerTinf(v, float64(l.Window))
+			t1 += c1.Total()
+			tinfFwdBwd += ci.Forward + ci.Backward
+			extent -= sparsity * (l.Window - 1)
+			sparsity *= l.Window
+		case net.DropoutLayer:
+			// Modeled as a transfer-cost pass without an update.
+			t1 += 2 * float64(width) * v
+			tinfFwdBwd += 2 * v
+		}
+		if extent < 1 {
+			return NetCost{}, fmt.Errorf("model: layer %d consumed the image", li)
+		}
+	}
+	return NetCost{T1: t1, Tinf: tinfFwdBwd + tinfUpdateMax}, nil
+}
+
+// Fig4Point is one (width, speedup) sample of a Fig. 4 curve.
+type Fig4Point struct {
+	Width   int
+	Speedup float64
+}
+
+// Fig4Curve reproduces one line of Fig. 4: theoretically achievable
+// speedup versus network width for P processors and a network of the given
+// depth (number of convolutional layers, each 5³ kernels followed by a
+// transfer layer), in the given mode (the paper plots Direct and FFTMemo).
+func Fig4Curve(m Mode, p int, depth int, widths []int) []Fig4Point {
+	spec := net.Spec{}
+	for i := 0; i < depth; i++ {
+		spec.Layers = append(spec.Layers,
+			net.LayerSpec{Kind: net.ConvLayer, Window: 5},
+			net.LayerSpec{Kind: net.TransferLayer, Transfer: "relu"},
+		)
+	}
+	pts := make([]Fig4Point, 0, len(widths))
+	for _, w := range widths {
+		cost, err := Estimate(Geometry{
+			Spec: spec, Width: w, OutWidth: w, Dims: 3, OutExtent: 1,
+		}, m)
+		if err != nil {
+			panic(err)
+		}
+		pts = append(pts, Fig4Point{Width: w, Speedup: cost.Speedup(float64(p))})
+	}
+	return pts
+}

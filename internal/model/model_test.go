@@ -1,0 +1,191 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"znn/internal/net"
+)
+
+func TestConvLayerT1Direct(t *testing.T) {
+	// Table II: direct = f′·f·n′³·k³ per pass.
+	c := ConvLayerT1(Direct, 1000, 512, 27, 4, 8)
+	want := 8.0 * 4 * 512 * 27
+	if c.Forward != want || c.Backward != want || c.Update != want {
+		t.Errorf("direct cost = %+v, want %v per pass", c, want)
+	}
+	if c.Total() != 3*want {
+		t.Errorf("total = %v, want %v", c.Total(), 3*want)
+	}
+}
+
+func TestConvLayerT1FFTvsMemo(t *testing.T) {
+	v := 32768.0 // 32³
+	fftC := ConvLayerT1(FFT, v, 27000, 27, 10, 10)
+	memo := ConvLayerT1(FFTMemo, v, 27000, 27, 10, 10)
+	// Forward costs are identical.
+	if fftC.Forward != memo.Forward {
+		t.Error("memoized forward should equal plain FFT forward")
+	}
+	// Backward and update are strictly cheaper with memoization.
+	if memo.Backward >= fftC.Backward || memo.Update >= fftC.Update {
+		t.Error("memoization did not reduce backward/update cost")
+	}
+	// Table II: memoized total = 6Cn³logn[f′+f+f′f] + 12f′fn³ versus
+	// 9Cn³logn[...] + 12..., i.e. the transform term drops by one third.
+	fTerm := fftCost(v) * (10 + 10 + 100)
+	wantFFT := 3*fTerm + 12*100*v
+	wantMemo := 2*fTerm + 12*100*v
+	if math.Abs(fftC.Total()-wantFFT) > 1 {
+		t.Errorf("fft total = %v, want %v", fftC.Total(), wantFFT)
+	}
+	if math.Abs(memo.Total()-wantMemo) > 1 {
+		t.Errorf("memo total = %v, want %v", memo.Total(), wantMemo)
+	}
+}
+
+func TestTinfWidthDependenceIsLogarithmic(t *testing.T) {
+	// Table III: T∞ of a conv layer grows like ⌈log₂ f⌉ with width.
+	v, vOut, k := 32768.0, 27000.0, 27.0
+	t8 := ConvLayerTinf(Direct, v, vOut, k, 8, 8)
+	t64 := ConvLayerTinf(Direct, v, vOut, k, 64, 64)
+	// log2: 3 → 6 doubles the width-dependent term only.
+	growth := t64.Forward - t8.Forward
+	want := vOut * 3 // (6−3)·n′³
+	if math.Abs(growth-want) > 1 {
+		t.Errorf("T∞ growth = %v, want %v", growth, want)
+	}
+	// Update is width-independent.
+	if t8.Update != t64.Update {
+		t.Error("update T∞ depends on width")
+	}
+}
+
+func TestTableIRows(t *testing.T) {
+	v := 1000.0
+	p := PoolLayerT1(v, 4)
+	if p.Forward != 4000 || p.Backward != 4000 || p.Update != 0 {
+		t.Errorf("pooling row = %+v", p)
+	}
+	f := FilterLayerT1(v, 4, 8)
+	if f.Forward != 4*6*v*3 { // 6n³·log₂8
+		t.Errorf("filtering forward = %v", f.Forward)
+	}
+	if f.Backward != 4000 {
+		t.Errorf("filtering backward = %v", f.Backward)
+	}
+	tr := TransferLayerT1(v, 4)
+	if tr.Forward != 4000 || tr.Backward != 4000 || tr.Update != 4000 {
+		t.Errorf("transfer row = %+v", tr)
+	}
+}
+
+func TestSpeedupBound(t *testing.T) {
+	c := NetCost{T1: 1e9, Tinf: 1e6}
+	// S∞ = 1000; with P=8 the bound is just below 8.
+	s := c.Speedup(8)
+	if s <= 7.9 || s >= 8 {
+		t.Errorf("speedup = %v, want just below 8", s)
+	}
+	// P = S∞: bound is S∞/2 + 0.5-ish.
+	s = c.Speedup(1000)
+	if s <= 499 || s >= 501 {
+		t.Errorf("speedup at P=S∞ = %v, want ≈500", s)
+	}
+	// Degenerate: Tinf = 0 → speedup = P·1/(1+0) = 1.
+	if d := (NetCost{T1: 5, Tinf: 0}).Speedup(4); d != 1 {
+		t.Errorf("degenerate speedup = %v", d)
+	}
+}
+
+func TestEstimateMatchesHandComputation(t *testing.T) {
+	// One conv layer C3 (f=1→f′=1) + transfer, 3D, out 4³ → in 6³.
+	spec := net.MustParse("C3-Trelu")
+	cost, err := Estimate(Geometry{Spec: spec, Width: 1, OutExtent: 4}, Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vIn, vOut := 216.0, 64.0
+	wantT1 := 3*vOut*27 + 3*vOut // conv + transfer (transfer works on out image)
+	if math.Abs(cost.T1-wantT1) > 1 {
+		t.Errorf("T1 = %v, want %v", cost.T1, wantT1)
+	}
+	_ = vIn
+}
+
+func TestEstimateRejectsConsumedImage(t *testing.T) {
+	spec := net.MustParse("C9-Trelu")
+	if _, err := Estimate(Geometry{Spec: spec, Width: 1, OutExtent: 1}, Direct); err == nil {
+		// out 1 → in 9, conv9 → extent 1: fine. Make it fail with pooling.
+		spec2 := net.MustParse("C9-P2")
+		if _, err2 := Estimate(Geometry{Spec: spec2, Width: 1, OutExtent: 0}, Direct); err2 == nil {
+			t.Error("invalid geometry not rejected")
+		}
+	}
+}
+
+// Fig. 4's headline properties: speedup approaches P for large widths,
+// larger P needs larger width to reach a fixed fraction of P, and curves
+// are monotone in width.
+func TestFig4CurveShape(t *testing.T) {
+	widths := []int{1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 60, 80, 100, 120}
+	for _, mode := range []Mode{Direct, FFTMemo} {
+		for _, p := range []int{8, 18, 40, 60, 120} {
+			pts := Fig4Curve(mode, p, 8, widths)
+			// Monotone nondecreasing in width.
+			for i := 1; i < len(pts); i++ {
+				if pts[i].Speedup < pts[i-1].Speedup-1e-9 {
+					t.Errorf("%v P=%d: speedup decreases at width %d", mode, p, pts[i].Width)
+				}
+			}
+			last := pts[len(pts)-1].Speedup
+			if last > float64(p) {
+				t.Errorf("%v P=%d: speedup %v exceeds P", mode, p, last)
+			}
+			if last < 0.75*float64(p) {
+				t.Errorf("%v P=%d: speedup at width 120 = %v, want ≥ 75%% of P", mode, p, last)
+			}
+		}
+		// Width needed to reach 75% of P grows with P.
+		reach := func(p int) int {
+			for _, w := range widths {
+				pt := Fig4Curve(mode, p, 8, []int{w})[0]
+				if pt.Speedup >= 0.75*float64(p) {
+					return w
+				}
+			}
+			return widths[len(widths)-1] + 1
+		}
+		if !(reach(8) <= reach(40) && reach(40) <= reach(120)) {
+			t.Errorf("%v: width to reach 75%% of P not increasing: %d, %d, %d",
+				mode, reach(8), reach(40), reach(120))
+		}
+	}
+}
+
+func TestFig4DepthInsensitivity(t *testing.T) {
+	// The paper notes curves for depths 4–40 nearly coincide (multiple
+	// lines of the same color): check depth changes speedup by <10%.
+	widths := []int{40}
+	for _, p := range []int{40} {
+		s4 := Fig4Curve(FFTMemo, p, 4, widths)[0].Speedup
+		s40 := Fig4Curve(FFTMemo, p, 40, widths)[0].Speedup
+		if rel := math.Abs(s4-s40) / s4; rel > 0.10 {
+			t.Errorf("depth sensitivity %.1f%% exceeds 10%%", rel*100)
+		}
+	}
+}
+
+func TestEstimate2DVolumes(t *testing.T) {
+	// 2D geometry uses n² volumes: a C3 layer on out 4² costs 3·16·9
+	// (conv) + 3·16 (transfer).
+	spec := net.MustParse("C3-Trelu")
+	cost, err := Estimate(Geometry{Spec: spec, Width: 1, OutExtent: 4, Dims: 2}, Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0*16*9 + 3*16
+	if math.Abs(cost.T1-want) > 1 {
+		t.Errorf("2D T1 = %v, want %v", cost.T1, want)
+	}
+}

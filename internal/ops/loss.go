@@ -1,0 +1,190 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"znn/internal/tensor"
+)
+
+// Loss computes a scalar training loss and its gradient with respect to
+// the network outputs. Networks may have several output nodes; the loss
+// receives parallel slices of actual and desired images.
+type Loss interface {
+	Name() string
+	// Eval returns the scalar loss and the gradient images ∂L/∂output,
+	// one per output node.
+	Eval(actual, desired []*tensor.Tensor) (float64, []*tensor.Tensor)
+}
+
+func checkLossArgs(actual, desired []*tensor.Tensor) {
+	if len(actual) == 0 || len(actual) != len(desired) {
+		panic(fmt.Sprintf("ops: loss needs matching non-empty outputs, got %d actual %d desired",
+			len(actual), len(desired)))
+	}
+	for i := range actual {
+		if actual[i].S != desired[i].S {
+			panic(fmt.Sprintf("ops: loss output %d shape mismatch %v vs %v",
+				i, actual[i].S, desired[i].S))
+		}
+	}
+}
+
+// SquaredLoss is the Euclidean loss mentioned in Section III:
+// L = ½ Σ (y − d)², with gradient y − d.
+type SquaredLoss struct{}
+
+// Name returns "squared".
+func (SquaredLoss) Name() string { return "squared" }
+
+// Eval computes the loss and per-output gradients.
+func (SquaredLoss) Eval(actual, desired []*tensor.Tensor) (float64, []*tensor.Tensor) {
+	checkLossArgs(actual, desired)
+	var loss float64
+	grads := make([]*tensor.Tensor, len(actual))
+	for i := range actual {
+		g := tensor.New(actual[i].S)
+		for j, y := range actual[i].Data {
+			d := y - desired[i].Data[j]
+			g.Data[j] = d
+			loss += 0.5 * d * d
+		}
+		grads[i] = g
+	}
+	return loss, grads
+}
+
+// BinaryCrossEntropy treats each output voxel as an independent Bernoulli
+// probability (the boundary-detection formulation used by the paper's
+// connectomics applications [13][23]): L = −Σ d·log y + (1−d)·log(1−y).
+// Outputs are clamped away from {0,1} for numerical safety.
+type BinaryCrossEntropy struct{}
+
+// Name returns "bce".
+func (BinaryCrossEntropy) Name() string { return "bce" }
+
+const bceEps = 1e-12
+
+// Eval computes the loss and per-output gradients (with respect to y).
+func (BinaryCrossEntropy) Eval(actual, desired []*tensor.Tensor) (float64, []*tensor.Tensor) {
+	checkLossArgs(actual, desired)
+	var loss float64
+	grads := make([]*tensor.Tensor, len(actual))
+	for i := range actual {
+		g := tensor.New(actual[i].S)
+		for j, y := range actual[i].Data {
+			y = math.Min(math.Max(y, bceEps), 1-bceEps)
+			d := desired[i].Data[j]
+			loss -= d*math.Log(y) + (1-d)*math.Log(1-y)
+			g.Data[j] = (y - d) / (y * (1 - y))
+		}
+		grads[i] = g
+	}
+	return loss, grads
+}
+
+// SoftmaxCrossEntropy applies a softmax across the output nodes at each
+// voxel (each node is one class map, the multi-class formulation for
+// semantic segmentation) followed by cross-entropy against one-hot desired
+// maps. The gradient with respect to the pre-softmax outputs is the usual
+// softmax(y) − d.
+type SoftmaxCrossEntropy struct{}
+
+// Name returns "softmax".
+func (SoftmaxCrossEntropy) Name() string { return "softmax" }
+
+// Eval computes the loss and per-output gradients with respect to the
+// pre-softmax activations.
+func (SoftmaxCrossEntropy) Eval(actual, desired []*tensor.Tensor) (float64, []*tensor.Tensor) {
+	checkLossArgs(actual, desired)
+	classes := len(actual)
+	vol := actual[0].S.Volume()
+	for i := 1; i < classes; i++ {
+		if actual[i].S != actual[0].S {
+			panic(fmt.Sprintf("ops: softmax outputs must share a shape, got %v and %v",
+				actual[i].S, actual[0].S))
+		}
+	}
+	grads := make([]*tensor.Tensor, classes)
+	for i := range grads {
+		grads[i] = tensor.New(actual[i].S)
+	}
+	var loss float64
+	probs := make([]float64, classes)
+	for v := 0; v < vol; v++ {
+		maxv := math.Inf(-1)
+		for c := 0; c < classes; c++ {
+			if a := actual[c].Data[v]; a > maxv {
+				maxv = a
+			}
+		}
+		var sum float64
+		for c := 0; c < classes; c++ {
+			probs[c] = math.Exp(actual[c].Data[v] - maxv)
+			sum += probs[c]
+		}
+		for c := 0; c < classes; c++ {
+			p := probs[c] / sum
+			d := desired[c].Data[v]
+			if d > 0 {
+				loss -= d * math.Log(math.Max(p, bceEps))
+			}
+			grads[c].Data[v] = p - d
+		}
+	}
+	return loss, grads
+}
+
+// MeanLoss wraps a loss, dividing the value and gradients by the total
+// voxel count. Summed losses produce gradients that scale with the output
+// patch volume, which forces retuning the learning rate whenever the patch
+// changes; the mean form keeps η patch-size independent.
+type MeanLoss struct {
+	L Loss
+}
+
+// Name returns the wrapped name with a "mean-" prefix.
+func (m MeanLoss) Name() string { return "mean-" + m.L.Name() }
+
+// Eval evaluates the wrapped loss and normalizes by total voxels.
+func (m MeanLoss) Eval(actual, desired []*tensor.Tensor) (float64, []*tensor.Tensor) {
+	loss, grads := m.L.Eval(actual, desired)
+	var vol int
+	for _, a := range actual {
+		vol += a.S.Volume()
+	}
+	scale := 1 / float64(vol)
+	for _, g := range grads {
+		g.Scale(scale)
+	}
+	return loss * scale, grads
+}
+
+// LossByName returns the loss with the given name. A "mean-" prefix wraps
+// the loss in MeanLoss (e.g. "mean-bce").
+func LossByName(name string) (Loss, error) {
+	if rest, ok := cutPrefix(name, "mean-"); ok {
+		inner, err := LossByName(rest)
+		if err != nil {
+			return nil, err
+		}
+		return MeanLoss{L: inner}, nil
+	}
+	switch name {
+	case "squared", "mse", "euclidean":
+		return SquaredLoss{}, nil
+	case "bce", "cross-entropy":
+		return BinaryCrossEntropy{}, nil
+	case "softmax":
+		return SoftmaxCrossEntropy{}, nil
+	default:
+		return nil, fmt.Errorf("ops: unknown loss %q", name)
+	}
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return s, false
+}

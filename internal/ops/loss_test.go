@@ -1,0 +1,204 @@
+package ops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"znn/internal/tensor"
+)
+
+func TestLossByName(t *testing.T) {
+	for _, name := range []string{"squared", "mse", "euclidean", "bce", "cross-entropy", "softmax"} {
+		if _, err := LossByName(name); err != nil {
+			t.Errorf("LossByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := LossByName("hinge"); err == nil {
+		t.Error("unknown loss did not error")
+	}
+}
+
+func TestSquaredLossZeroAtTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	y := tensor.RandomUniform(rng, tensor.Cube(3), -1, 1)
+	loss, grads := SquaredLoss{}.Eval([]*tensor.Tensor{y}, []*tensor.Tensor{y.Clone()})
+	if loss != 0 {
+		t.Errorf("loss at target = %v, want 0", loss)
+	}
+	if grads[0].MaxAbs() != 0 {
+		t.Error("gradient at target not zero")
+	}
+}
+
+func TestSquaredLossKnownValue(t *testing.T) {
+	y := tensor.FromSlice(tensor.S3(2, 1, 1), 1, 3)
+	d := tensor.FromSlice(tensor.S3(2, 1, 1), 0, 1)
+	loss, grads := SquaredLoss{}.Eval([]*tensor.Tensor{y}, []*tensor.Tensor{d})
+	if want := 0.5*1 + 0.5*4; math.Abs(loss-want) > 1e-12 {
+		t.Errorf("loss = %v, want %v", loss, want)
+	}
+	want := tensor.FromSlice(tensor.S3(2, 1, 1), 1, 2)
+	if !grads[0].ApproxEqual(want, 1e-12) {
+		t.Errorf("grad = %v, want %v", grads[0].Data, want.Data)
+	}
+}
+
+// Gradient checks: for every loss, ∂L/∂y must match finite differences.
+func TestLossGradientsFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const h = 1e-6
+	shape := tensor.S3(3, 2, 1)
+
+	check := func(name string, loss Loss, actual, desired []*tensor.Tensor, tol float64) {
+		_, grads := loss.Eval(actual, desired)
+		for oi := range actual {
+			for i := range actual[oi].Data {
+				save := actual[oi].Data[i]
+				actual[oi].Data[i] = save + h
+				lp, _ := loss.Eval(actual, desired)
+				actual[oi].Data[i] = save - h
+				lm, _ := loss.Eval(actual, desired)
+				actual[oi].Data[i] = save
+				want := (lp - lm) / (2 * h)
+				if math.Abs(grads[oi].Data[i]-want) > tol {
+					t.Errorf("%s: grad[%d][%d] = %v, finite diff %v",
+						name, oi, i, grads[oi].Data[i], want)
+					return
+				}
+			}
+		}
+	}
+
+	// Squared loss on arbitrary values.
+	y := []*tensor.Tensor{tensor.RandomUniform(rng, shape, -1, 1)}
+	d := []*tensor.Tensor{tensor.RandomUniform(rng, shape, -1, 1)}
+	check("squared", SquaredLoss{}, y, d, 1e-5)
+
+	// BCE needs y in (0,1) and d in [0,1].
+	yb := []*tensor.Tensor{tensor.RandomUniform(rng, shape, 0.1, 0.9)}
+	db := []*tensor.Tensor{tensor.RandomUniform(rng, shape, 0, 1)}
+	check("bce", BinaryCrossEntropy{}, yb, db, 1e-4)
+
+	// Softmax over 3 class maps with one-hot desired.
+	ys := []*tensor.Tensor{
+		tensor.RandomUniform(rng, shape, -1, 1),
+		tensor.RandomUniform(rng, shape, -1, 1),
+		tensor.RandomUniform(rng, shape, -1, 1),
+	}
+	ds := []*tensor.Tensor{tensor.New(shape), tensor.New(shape), tensor.New(shape)}
+	for v := 0; v < shape.Volume(); v++ {
+		ds[rng.Intn(3)].Data[v] = 1
+	}
+	check("softmax", SoftmaxCrossEntropy{}, ys, ds, 1e-4)
+}
+
+func TestSoftmaxProbabilitiesSumToOne(t *testing.T) {
+	// The softmax gradient at zero desired sums to zero across classes
+	// voxelwise iff probabilities sum to one.
+	rng := rand.New(rand.NewSource(3))
+	shape := tensor.S3(2, 2, 2)
+	ys := []*tensor.Tensor{
+		tensor.RandomUniform(rng, shape, -2, 2),
+		tensor.RandomUniform(rng, shape, -2, 2),
+	}
+	ds := []*tensor.Tensor{tensor.New(shape), tensor.New(shape)}
+	_, grads := SoftmaxCrossEntropy{}.Eval(ys, ds)
+	for v := 0; v < shape.Volume(); v++ {
+		sum := grads[0].Data[v] + grads[1].Data[v]
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("voxel %d: probabilities sum to %v, want 1", v, sum)
+		}
+	}
+}
+
+func TestBCEClampsExtremeOutputs(t *testing.T) {
+	y := tensor.FromSlice(tensor.S3(2, 1, 1), 0, 1) // exactly at the poles
+	d := tensor.FromSlice(tensor.S3(2, 1, 1), 1, 0)
+	loss, grads := BinaryCrossEntropy{}.Eval([]*tensor.Tensor{y}, []*tensor.Tensor{d})
+	if math.IsInf(loss, 0) || math.IsNaN(loss) {
+		t.Errorf("BCE at poles returned %v", loss)
+	}
+	for _, g := range grads[0].Data {
+		if math.IsInf(g, 0) || math.IsNaN(g) {
+			t.Errorf("BCE gradient at poles returned %v", g)
+		}
+	}
+}
+
+func TestMeanLossScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	shape := tensor.S3(4, 2, 2) // 16 voxels
+	y := []*tensor.Tensor{tensor.RandomUniform(rng, shape, -1, 1)}
+	d := []*tensor.Tensor{tensor.RandomUniform(rng, shape, -1, 1)}
+	sumLoss, sumGrads := SquaredLoss{}.Eval(y, d)
+	meanLoss, meanGrads := (MeanLoss{L: SquaredLoss{}}).Eval(y, d)
+	if math.Abs(meanLoss-sumLoss/16) > 1e-12 {
+		t.Errorf("mean loss %g, want %g", meanLoss, sumLoss/16)
+	}
+	for i := range sumGrads[0].Data {
+		if math.Abs(meanGrads[0].Data[i]-sumGrads[0].Data[i]/16) > 1e-12 {
+			t.Fatalf("mean grad %d not scaled", i)
+		}
+	}
+	if (MeanLoss{L: SquaredLoss{}}).Name() != "mean-squared" {
+		t.Error("MeanLoss name wrong")
+	}
+}
+
+func TestMeanLossByName(t *testing.T) {
+	l, err := LossByName("mean-bce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "mean-bce" {
+		t.Errorf("name = %q", l.Name())
+	}
+	if _, err := LossByName("mean-nonsense"); err == nil {
+		t.Error("mean- of unknown loss accepted")
+	}
+}
+
+// Mean loss gradients must still pass the finite-difference check (the
+// scaling applies to both the value and the gradient).
+func TestMeanLossGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const h = 1e-6
+	shape := tensor.S3(3, 2, 1)
+	y := []*tensor.Tensor{tensor.RandomUniform(rng, shape, 0.2, 0.8)}
+	d := []*tensor.Tensor{tensor.RandomUniform(rng, shape, 0, 1)}
+	loss := MeanLoss{L: BinaryCrossEntropy{}}
+	_, grads := loss.Eval(y, d)
+	for i := range y[0].Data {
+		save := y[0].Data[i]
+		y[0].Data[i] = save + h
+		lp, _ := loss.Eval(y, d)
+		y[0].Data[i] = save - h
+		lm, _ := loss.Eval(y, d)
+		y[0].Data[i] = save
+		want := (lp - lm) / (2 * h)
+		if math.Abs(grads[0].Data[i]-want) > 1e-5 {
+			t.Fatalf("mean-bce grad[%d] = %g, finite diff %g", i, grads[0].Data[i], want)
+		}
+	}
+}
+
+func TestLossArgValidation(t *testing.T) {
+	a := []*tensor.Tensor{tensor.New(tensor.Cube(2))}
+	bad := []*tensor.Tensor{tensor.New(tensor.Cube(3))}
+	cases := map[string]func(){
+		"mismatched shapes": func() { SquaredLoss{}.Eval(a, bad) },
+		"empty":             func() { SquaredLoss{}.Eval(nil, nil) },
+		"count mismatch":    func() { SquaredLoss{}.Eval(a, append(a, a[0])) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

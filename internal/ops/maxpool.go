@@ -1,0 +1,65 @@
+package ops
+
+import (
+	"fmt"
+
+	"znn/internal/tensor"
+)
+
+// MaxPoolForward divides the image into non-overlapping blocks of the given
+// window shape and takes the maximum of each block. The image extent must
+// be divisible by the window along every axis. It returns the pooled image
+// and, for the Jacobian, the linear input index of each block's maximum
+// (ties resolve to the highest linear index, matching max-filtering).
+func MaxPoolForward(in *tensor.Tensor, window tensor.Shape) (*tensor.Tensor, []int32) {
+	if !window.Valid() {
+		panic(fmt.Sprintf("ops: invalid pooling window %v", window))
+	}
+	os := in.S.Div(window) // panics when not divisible
+	out := tensor.New(os)
+	argmax := make([]int32, os.Volume())
+	for z := 0; z < os.Z; z++ {
+		for y := 0; y < os.Y; y++ {
+			for x := 0; x < os.X; x++ {
+				bx, by, bz := x*window.X, y*window.Y, z*window.Z
+				best := in.At(bx, by, bz)
+				bestIdx := in.S.Index(bx, by, bz)
+				for dz := 0; dz < window.Z; dz++ {
+					for dy := 0; dy < window.Y; dy++ {
+						base := in.S.Index(bx, by+dy, bz+dz)
+						for dx := 0; dx < window.X; dx++ {
+							if v := in.Data[base+dx]; v >= best {
+								best = v
+								bestIdx = base + dx
+							}
+						}
+					}
+				}
+				oi := os.Index(x, y, z)
+				out.Data[oi] = best
+				argmax[oi] = int32(bestIdx)
+			}
+		}
+	}
+	return out, argmax
+}
+
+// MaxPoolBackward applies the max-pooling Jacobian: within each block all
+// voxels are zero except the forward maximum, which receives the block's
+// backward value (Section III-A). inShape is the shape of the forward
+// input.
+func MaxPoolBackward(grad *tensor.Tensor, argmax []int32, inShape tensor.Shape) *tensor.Tensor {
+	if len(argmax) != grad.S.Volume() {
+		panic(fmt.Sprintf("ops: argmax length %d does not match grad %v", len(argmax), grad.S))
+	}
+	out := tensor.New(inShape)
+	vol := inShape.Volume()
+	for i, g := range grad.Data {
+		idx := int(argmax[i])
+		if idx < 0 || idx >= vol {
+			panic(fmt.Sprintf("ops: argmax[%d] = %d out of range of %v", i, idx, inShape))
+		}
+		out.Data[idx] += g
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Package ops implements the nonlinear image filtering operations of the
+// ZNN computation graph (Section II of the paper): transfer functions with
+// biases, max-pooling, max-filtering, and the dropout extension — each with
+// its Jacobian for the backward pass (Section III).
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"znn/internal/tensor"
+)
+
+// Transfer is a pointwise nonlinearity. Deriv receives the forward output
+// y = f(x) (every supported function's derivative is expressible in its
+// output, which is what makes transfer Jacobians O(n³) with no stored
+// pre-activations).
+type Transfer interface {
+	Name() string
+	Apply(x float64) float64
+	Deriv(y float64) float64
+}
+
+// Logistic is the sigmoid 1/(1+e^{−x}).
+type Logistic struct{}
+
+// Name returns "logistic".
+func (Logistic) Name() string { return "logistic" }
+
+// Apply evaluates the sigmoid.
+func (Logistic) Apply(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Deriv returns y(1−y).
+func (Logistic) Deriv(y float64) float64 { return y * (1 - y) }
+
+// Tanh is the hyperbolic tangent.
+type Tanh struct{}
+
+// Name returns "tanh".
+func (Tanh) Name() string { return "tanh" }
+
+// Apply evaluates tanh.
+func (Tanh) Apply(x float64) float64 { return math.Tanh(x) }
+
+// Deriv returns 1−y².
+func (Tanh) Deriv(y float64) float64 { return 1 - y*y }
+
+// ReLU is half-wave rectification max(0, x).
+type ReLU struct{}
+
+// Name returns "relu".
+func (ReLU) Name() string { return "relu" }
+
+// Apply evaluates max(0, x).
+func (ReLU) Apply(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// Deriv returns 1 for positive outputs and 0 otherwise (the subgradient 0
+// is used at the kink).
+func (ReLU) Deriv(y float64) float64 {
+	if y > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Linear is the identity transfer (useful for output layers trained with a
+// loss that includes its own nonlinearity).
+type Linear struct{}
+
+// Name returns "linear".
+func (Linear) Name() string { return "linear" }
+
+// Apply returns x.
+func (Linear) Apply(x float64) float64 { return x }
+
+// Deriv returns 1.
+func (Linear) Deriv(float64) float64 { return 1 }
+
+// TransferByName returns the transfer function with the given name.
+func TransferByName(name string) (Transfer, error) {
+	switch name {
+	case "logistic", "sigmoid":
+		return Logistic{}, nil
+	case "tanh":
+		return Tanh{}, nil
+	case "relu", "rectify":
+		return ReLU{}, nil
+	case "linear", "identity":
+		return Linear{}, nil
+	default:
+		return nil, fmt.Errorf("ops: unknown transfer function %q", name)
+	}
+}
+
+// TransferForward computes out = f(in + bias) into a new tensor.
+func TransferForward(t Transfer, in *tensor.Tensor, bias float64) *tensor.Tensor {
+	out := tensor.New(in.S)
+	for i, v := range in.Data {
+		out.Data[i] = t.Apply(v + bias)
+	}
+	return out
+}
+
+// TransferBackward computes the transfer Jacobian: each voxel of the
+// backward image grad multiplied by f′ evaluated via the forward output
+// fwdOut (Section III: "every voxel of a backward image is multiplied by
+// the derivative of the transfer function for the corresponding voxel in
+// the forward image").
+func TransferBackward(t Transfer, fwdOut, grad *tensor.Tensor) *tensor.Tensor {
+	if fwdOut.S != grad.S {
+		panic(fmt.Sprintf("ops: transfer backward shape mismatch %v vs %v", fwdOut.S, grad.S))
+	}
+	out := tensor.New(grad.S)
+	for i, g := range grad.Data {
+		out.Data[i] = g * t.Deriv(fwdOut.Data[i])
+	}
+	return out
+}
+
+// BiasGrad returns the gradient of the loss with respect to the bias: the
+// sum of all voxels of the backward image at the node (Section III-B).
+func BiasGrad(grad *tensor.Tensor) float64 { return grad.Sum() }

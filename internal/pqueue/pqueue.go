@@ -1,0 +1,264 @@
+// Package pqueue implements the task queues of Section VII-A of the paper.
+//
+// The central structure is the heap-of-lists priority queue: a binary heap
+// keyed by distinct priority values, each heap slot holding a FIFO list of
+// tasks that share the priority. Insertion and deletion cost O(log K) where
+// K is the number of distinct priorities present, instead of O(log N) in
+// the number of queued tasks — a substantial saving for wide networks where
+// many tasks share each priority level.
+//
+// FIFO and LIFO queues implement the same interface; the paper's Section X
+// mentions them (plus work stealing, provided by package sched) as
+// alternative scheduling strategies with noticeably lower scalability.
+package pqueue
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Item is the unit stored in a queue.
+type Item any
+
+// Queue is the interface shared by all scheduling queues. Higher priority
+// values are dequeued first; FIFO/LIFO implementations ignore priority.
+// All methods are safe for concurrent use.
+type Queue interface {
+	// Push enqueues an item at the given priority.
+	Push(priority int64, it Item)
+	// Pop removes and returns the next item, or ok=false when empty.
+	Pop() (it Item, ok bool)
+	// Len returns the number of queued items.
+	Len() int
+}
+
+// bucket is one heap entry: a priority and the FIFO list of items at it.
+type bucket struct {
+	prio  int64
+	items []Item // FIFO: append at tail, take from head
+	head  int    // index of the first live element in items
+	index int    // heap index, maintained by heap.Interface
+}
+
+type bucketHeap []*bucket
+
+func (h bucketHeap) Len() int           { return len(h) }
+func (h bucketHeap) Less(i, j int) bool { return h[i].prio > h[j].prio } // max-heap
+func (h bucketHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *bucketHeap) Push(x any)        { b := x.(*bucket); b.index = len(*h); *h = append(*h, b) }
+func (h *bucketHeap) Pop() any {
+	old := *h
+	n := len(old)
+	b := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return b
+}
+
+// HeapOfLists is the paper's priority queue. The zero value is ready to use.
+type HeapOfLists struct {
+	mu      sync.Mutex
+	heap    bucketHeap
+	buckets map[int64]*bucket
+	n       int
+}
+
+// NewHeapOfLists returns an empty heap-of-lists queue.
+func NewHeapOfLists() *HeapOfLists {
+	return &HeapOfLists{buckets: map[int64]*bucket{}}
+}
+
+// Push enqueues it at the given priority.
+func (q *HeapOfLists) Push(priority int64, it Item) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.buckets == nil {
+		q.buckets = map[int64]*bucket{}
+	}
+	b, ok := q.buckets[priority]
+	if !ok {
+		b = &bucket{prio: priority}
+		q.buckets[priority] = b
+		heap.Push(&q.heap, b)
+	}
+	b.items = append(b.items, it)
+	q.n++
+}
+
+// Pop removes and returns the highest-priority item; items of equal
+// priority are returned in FIFO order. The paper relies on this order:
+// tasks at the same distance are enqueued in the strict node ordering, so
+// FIFO within a priority level executes convolutions converging on the
+// same node back-to-back, improving temporal locality.
+func (q *HeapOfLists) Pop() (Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		return nil, false
+	}
+	b := q.heap[0]
+	it := b.items[b.head]
+	b.items[b.head] = nil
+	b.head++
+	q.n--
+	if b.head == len(b.items) {
+		heap.Pop(&q.heap)
+		delete(q.buckets, b.prio)
+	}
+	return it, true
+}
+
+// Len returns the number of queued items.
+func (q *HeapOfLists) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// DistinctPriorities returns K, the number of distinct priority levels
+// currently queued (the quantity that bounds operation cost).
+func (q *HeapOfLists) DistinctPriorities() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// FIFO is a first-in-first-out queue that ignores priorities.
+type FIFO struct {
+	mu    sync.Mutex
+	items []Item
+	head  int
+}
+
+// NewFIFO returns an empty FIFO queue.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Push appends it to the tail of the queue; priority is ignored.
+func (q *FIFO) Push(_ int64, it Item) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, it)
+}
+
+// Pop removes and returns the head of the queue.
+func (q *FIFO) Pop() (Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.items) {
+		return nil, false
+	}
+	it := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return it, true
+}
+
+// Len returns the number of queued items.
+func (q *FIFO) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+// LIFO is a last-in-first-out stack that ignores priorities.
+type LIFO struct {
+	mu    sync.Mutex
+	items []Item
+}
+
+// NewLIFO returns an empty LIFO queue.
+func NewLIFO() *LIFO { return &LIFO{} }
+
+// Push pushes it on the stack; priority is ignored.
+func (q *LIFO) Push(_ int64, it Item) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, it)
+}
+
+// Pop removes and returns the most recently pushed item.
+func (q *LIFO) Pop() (Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.items)
+	if n == 0 {
+		return nil, false
+	}
+	it := q.items[n-1]
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	return it, true
+}
+
+// Len returns the number of queued items.
+func (q *LIFO) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// BinaryHeap is a conventional one-item-per-node priority queue used as the
+// baseline in experiment E12 (heap-of-lists vs plain heap). Its operations
+// cost O(log N) in the number of queued tasks.
+type BinaryHeap struct {
+	mu  sync.Mutex
+	h   pairHeap
+	seq int64 // tiebreaker preserving FIFO order within a priority
+}
+
+type pair struct {
+	prio int64
+	seq  int64
+	it   Item
+}
+
+type pairHeap []pair
+
+func (h pairHeap) Len() int { return len(h) }
+func (h pairHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pairHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x any)   { *h = append(*h, x.(pair)) }
+func (h *pairHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}
+
+// NewBinaryHeap returns an empty binary-heap queue.
+func NewBinaryHeap() *BinaryHeap { return &BinaryHeap{} }
+
+// Push enqueues it at the given priority.
+func (q *BinaryHeap) Push(priority int64, it Item) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seq++
+	heap.Push(&q.h, pair{prio: priority, seq: q.seq, it: it})
+}
+
+// Pop removes and returns the highest-priority item (FIFO within ties).
+func (q *BinaryHeap) Pop() (Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	return heap.Pop(&q.h).(pair).it, true
+}
+
+// Len returns the number of queued items.
+func (q *BinaryHeap) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.h)
+}

@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"znn/internal/pqueue"
+)
+
+// Strategy is the queueing discipline behind the engine. Pop receives the
+// calling worker's id so per-worker strategies (work stealing) can keep
+// locality; global strategies ignore it.
+type Strategy interface {
+	Push(prio int64, t *Task)
+	Pop(worker int) (*Task, bool)
+	Len() int
+}
+
+// queueStrategy adapts any pqueue.Queue into a Strategy.
+type queueStrategy struct {
+	q pqueue.Queue
+}
+
+func (s *queueStrategy) Push(prio int64, t *Task) { s.q.Push(prio, t) }
+func (s *queueStrategy) Pop(int) (*Task, bool) {
+	it, ok := s.q.Pop()
+	if !ok {
+		return nil, false
+	}
+	return it.(*Task), true
+}
+func (s *queueStrategy) Len() int { return s.q.Len() }
+
+// NewPriorityStrategy returns the paper's scheduler: a global heap-of-lists
+// priority queue.
+func NewPriorityStrategy() Strategy {
+	return &queueStrategy{q: pqueue.NewHeapOfLists()}
+}
+
+// NewFIFOStrategy returns the FIFO alternative of Section X.
+func NewFIFOStrategy() Strategy { return &queueStrategy{q: pqueue.NewFIFO()} }
+
+// NewLIFOStrategy returns the LIFO alternative of Section X.
+func NewLIFOStrategy() Strategy { return &queueStrategy{q: pqueue.NewLIFO()} }
+
+// WorkStealing is the work-stealing alternative of Section X [22]: each
+// worker owns a deque, popped LIFO locally for cache locality; idle workers
+// steal FIFO from victims. Pushes from outside the worker pool distribute
+// round-robin.
+type WorkStealing struct {
+	deques []dequeShard
+	rr     atomic.Int64
+	n      atomic.Int64
+}
+
+type dequeShard struct {
+	mu    sync.Mutex
+	items []*Task
+}
+
+// NewWorkStealing returns a work-stealing strategy for the given number of
+// workers.
+func NewWorkStealing(workers int) *WorkStealing {
+	if workers < 1 {
+		workers = 1
+	}
+	return &WorkStealing{deques: make([]dequeShard, workers)}
+}
+
+// Push appends the task to the next deque round-robin (priority ignored,
+// as in the original's work-stealing mode).
+func (w *WorkStealing) Push(_ int64, t *Task) {
+	i := int(w.rr.Add(1)-1) % len(w.deques)
+	d := &w.deques[i]
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+	w.n.Add(1)
+}
+
+// Pop takes LIFO from the worker's own deque, then steals FIFO from other
+// workers' deques.
+func (w *WorkStealing) Pop(worker int) (*Task, bool) {
+	if worker < 0 || worker >= len(w.deques) {
+		worker = 0
+	}
+	if t, ok := w.popOwn(worker); ok {
+		return t, true
+	}
+	for off := 1; off < len(w.deques); off++ {
+		if t, ok := w.steal((worker + off) % len(w.deques)); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (w *WorkStealing) popOwn(i int) (*Task, bool) {
+	d := &w.deques[i]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil, false
+	}
+	t := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	w.n.Add(-1)
+	return t, true
+}
+
+func (w *WorkStealing) steal(i int) (*Task, bool) {
+	d := &w.deques[i]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil, false
+	}
+	t := d.items[0]
+	copy(d.items, d.items[1:])
+	d.items[len(d.items)-1] = nil
+	d.items = d.items[:len(d.items)-1]
+	w.n.Add(-1)
+	return t, true
+}
+
+// Len returns the total queued tasks across all deques.
+func (w *WorkStealing) Len() int { return int(w.n.Load()) }
+
+// Policy names a scheduling strategy; used by configuration surfaces.
+type Policy string
+
+const (
+	// PolicyPriority is the paper's priority scheduler (default).
+	PolicyPriority Policy = "priority"
+	// PolicyFIFO is the FIFO alternative.
+	PolicyFIFO Policy = "fifo"
+	// PolicyLIFO is the LIFO alternative.
+	PolicyLIFO Policy = "lifo"
+	// PolicySteal is the work-stealing alternative.
+	PolicySteal Policy = "steal"
+)
+
+// NewStrategy builds the strategy for a policy name; workers is needed by
+// the work-stealing policy.
+func NewStrategy(p Policy, workers int) Strategy {
+	switch p {
+	case PolicyFIFO:
+		return NewFIFOStrategy()
+	case PolicyLIFO:
+		return NewLIFOStrategy()
+	case PolicySteal:
+		return NewWorkStealing(workers)
+	default:
+		return NewPriorityStrategy()
+	}
+}

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func mkTask() *Task { return &Task{} }
+
+func TestWorkStealingPushPop(t *testing.T) {
+	ws := NewWorkStealing(3)
+	tasks := make([]*Task, 9)
+	for i := range tasks {
+		tasks[i] = mkTask()
+		ws.Push(0, tasks[i])
+	}
+	if ws.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", ws.Len())
+	}
+	seen := map[*Task]bool{}
+	for i := 0; i < 9; i++ {
+		tk, ok := ws.Pop(i % 3)
+		if !ok {
+			t.Fatalf("pop %d failed with %d queued", i, ws.Len())
+		}
+		if seen[tk] {
+			t.Fatal("task popped twice")
+		}
+		seen[tk] = true
+	}
+	if ws.Len() != 0 {
+		t.Errorf("Len after drain = %d", ws.Len())
+	}
+	if _, ok := ws.Pop(0); ok {
+		t.Error("pop from empty deques succeeded")
+	}
+}
+
+func TestWorkStealingStealsAcrossWorkers(t *testing.T) {
+	ws := NewWorkStealing(2)
+	// Round-robin push: tasks alternate between deques 0 and 1. Worker 0
+	// must be able to drain everything by stealing.
+	for i := 0; i < 10; i++ {
+		ws.Push(0, mkTask())
+	}
+	got := 0
+	for {
+		if _, ok := ws.Pop(0); !ok {
+			break
+		}
+		got++
+	}
+	if got != 10 {
+		t.Errorf("worker 0 drained %d of 10 tasks", got)
+	}
+}
+
+func TestWorkStealingOutOfRangeWorker(t *testing.T) {
+	ws := NewWorkStealing(2)
+	ws.Push(0, mkTask())
+	// Workers outside [0, n) (e.g. callers from outside the pool) must
+	// still be served.
+	if _, ok := ws.Pop(99); !ok {
+		t.Error("out-of-range worker could not pop")
+	}
+	ws.Push(0, mkTask())
+	if _, ok := ws.Pop(-1); !ok {
+		t.Error("negative worker could not pop")
+	}
+}
+
+func TestWorkStealingLocalLIFOStealFIFO(t *testing.T) {
+	ws := NewWorkStealing(2)
+	// Push 4 tasks: round-robin places 0,2 on deque 0 and 1,3 on deque 1.
+	tasks := make([]*Task, 4)
+	for i := range tasks {
+		tasks[i] = mkTask()
+		ws.Push(0, tasks[i])
+	}
+	// Worker 0 pops its own deque LIFO: expects tasks[2] then tasks[0].
+	if tk, _ := ws.Pop(0); tk != tasks[2] {
+		t.Error("local pop not LIFO")
+	}
+	// Worker 0 steals from deque 1 FIFO after draining its own:
+	if tk, _ := ws.Pop(0); tk != tasks[0] {
+		t.Error("local pop not LIFO (second)")
+	}
+	if tk, _ := ws.Pop(0); tk != tasks[1] {
+		t.Error("steal not FIFO")
+	}
+}
+
+func TestWorkStealingConcurrent(t *testing.T) {
+	ws := NewWorkStealing(4)
+	const n = 2000
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				ws.Push(0, mkTask())
+			}
+		}()
+	}
+	wg.Wait()
+	var mu sync.Mutex
+	total := 0
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				if _, ok := ws.Pop(id); !ok {
+					return
+				}
+				mu.Lock()
+				total++
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Concurrent pops may race with the final emptiness check; sweep.
+	for {
+		if _, ok := ws.Pop(0); !ok {
+			break
+		}
+		total++
+	}
+	if total != n {
+		t.Errorf("drained %d of %d tasks", total, n)
+	}
+}
+
+func TestNewStrategySelection(t *testing.T) {
+	cases := map[Policy]string{
+		PolicyPriority: "*sched.queueStrategy",
+		PolicyFIFO:     "*sched.queueStrategy",
+		PolicyLIFO:     "*sched.queueStrategy",
+		PolicySteal:    "*sched.WorkStealing",
+	}
+	for p := range cases {
+		s := NewStrategy(p, 2)
+		if s == nil {
+			t.Errorf("NewStrategy(%s) = nil", p)
+		}
+	}
+	// Unknown policy falls back to priority.
+	if NewStrategy("bogus", 2) == nil {
+		t.Error("unknown policy did not fall back")
+	}
+	// Work stealing with zero workers still functions.
+	ws := NewWorkStealing(0)
+	ws.Push(0, mkTask())
+	if _, ok := ws.Pop(0); !ok {
+		t.Error("zero-worker work stealing broken")
+	}
+}

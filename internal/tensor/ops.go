@@ -1,0 +1,213 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add accumulates src into t elementwise. Shapes must match.
+func (t *Tensor) Add(src *Tensor) {
+	if t.S != src.S {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", t.S, src.S))
+	}
+	for i, v := range src.Data {
+		t.Data[i] += v
+	}
+}
+
+// Sub subtracts src from t elementwise. Shapes must match.
+func (t *Tensor) Sub(src *Tensor) {
+	if t.S != src.S {
+		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", t.S, src.S))
+	}
+	for i, v := range src.Data {
+		t.Data[i] -= v
+	}
+}
+
+// MulElem multiplies t by src elementwise (Hadamard product).
+func (t *Tensor) MulElem(src *Tensor) {
+	if t.S != src.S {
+		panic(fmt.Sprintf("tensor: MulElem shape mismatch %v vs %v", t.S, src.S))
+	}
+	for i, v := range src.Data {
+		t.Data[i] *= v
+	}
+}
+
+// Scale multiplies every voxel by c.
+func (t *Tensor) Scale(c float64) {
+	for i := range t.Data {
+		t.Data[i] *= c
+	}
+}
+
+// AddScalar adds c to every voxel (used by the bias part of transfer
+// functions).
+func (t *Tensor) AddScalar(c float64) {
+	for i := range t.Data {
+		t.Data[i] += c
+	}
+}
+
+// Axpy computes t += a*x, the fused update used by SGD weight steps.
+func (t *Tensor) Axpy(a float64, x *Tensor) {
+	if t.S != x.S {
+		panic(fmt.Sprintf("tensor: Axpy shape mismatch %v vs %v", t.S, x.S))
+	}
+	for i, v := range x.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// Sum returns the sum of all voxels (used by the bias gradient).
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Dot returns the inner product of two tensors of identical shape.
+func (t *Tensor) Dot(u *Tensor) float64 {
+	if t.S != u.S {
+		panic(fmt.Sprintf("tensor: Dot shape mismatch %v vs %v", t.S, u.S))
+	}
+	var s float64
+	for i, v := range t.Data {
+		s += v * u.Data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of the tensor viewed as a vector.
+func (t *Tensor) Norm2() float64 { return math.Sqrt(t.Dot(t)) }
+
+// MaxAbs returns the largest absolute voxel value.
+func (t *Tensor) MaxAbs() float64 {
+	var m float64
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Reflect returns a new tensor reversed along all three dimensions.
+// Backward convolution uses the reflected kernel; the kernel gradient uses
+// the reflected forward image (Section III of the paper).
+func (t *Tensor) Reflect() *Tensor {
+	r := New(t.S)
+	n := len(t.Data)
+	for i, v := range t.Data {
+		r.Data[n-1-i] = v
+	}
+	return r
+}
+
+// ReflectInto writes the reflection of t into dst, which must have the same
+// shape. Reversing the flat data reverses each axis because the layout is a
+// full row-major order.
+func (t *Tensor) ReflectInto(dst *Tensor) {
+	if dst.S != t.S {
+		panic(fmt.Sprintf("tensor: ReflectInto shape mismatch %v vs %v", dst.S, t.S))
+	}
+	n := len(t.Data)
+	for i, v := range t.Data {
+		dst.Data[n-1-i] = v
+	}
+}
+
+// PadTo returns a new tensor of the given (elementwise larger or equal)
+// shape with t copied into the corner at the origin and zeros elsewhere.
+// FFT convolution zero-pads operands this way.
+func (t *Tensor) PadTo(s Shape) *Tensor {
+	if !t.S.Fits(s) {
+		panic(fmt.Sprintf("tensor: cannot pad %v to smaller shape %v", t.S, s))
+	}
+	p := New(s)
+	t.CopyIntoAt(p, 0, 0, 0)
+	return p
+}
+
+// CopyIntoAt copies t into dst with t's origin placed at (ox, oy, oz) in
+// dst. The region must fit.
+func (t *Tensor) CopyIntoAt(dst *Tensor, ox, oy, oz int) {
+	if ox < 0 || oy < 0 || oz < 0 ||
+		ox+t.S.X > dst.S.X || oy+t.S.Y > dst.S.Y || oz+t.S.Z > dst.S.Z {
+		panic(fmt.Sprintf("tensor: CopyIntoAt %v at (%d,%d,%d) does not fit in %v",
+			t.S, ox, oy, oz, dst.S))
+	}
+	for z := 0; z < t.S.Z; z++ {
+		for y := 0; y < t.S.Y; y++ {
+			src := t.Data[t.S.Index(0, y, z) : t.S.Index(0, y, z)+t.S.X]
+			off := dst.S.Index(ox, oy+y, oz+z)
+			copy(dst.Data[off:off+t.S.X], src)
+		}
+	}
+}
+
+// CropFrom returns a new tensor of shape s copied out of t starting at
+// offset (ox, oy, oz).
+func (t *Tensor) CropFrom(ox, oy, oz int, s Shape) *Tensor {
+	c := New(s)
+	t.CropInto(c, ox, oy, oz)
+	return c
+}
+
+// CropInto fills dst with the sub-volume of t starting at (ox, oy, oz).
+func (t *Tensor) CropInto(dst *Tensor, ox, oy, oz int) {
+	s := dst.S
+	if ox < 0 || oy < 0 || oz < 0 ||
+		ox+s.X > t.S.X || oy+s.Y > t.S.Y || oz+s.Z > t.S.Z {
+		panic(fmt.Sprintf("tensor: CropInto %v at (%d,%d,%d) out of range of %v",
+			s, ox, oy, oz, t.S))
+	}
+	for z := 0; z < s.Z; z++ {
+		for y := 0; y < s.Y; y++ {
+			off := t.S.Index(ox, oy+y, oz+z)
+			copy(dst.Data[dst.S.Index(0, y, z):dst.S.Index(0, y, z)+s.X],
+				t.Data[off:off+s.X])
+		}
+	}
+}
+
+// Dilate spreads the voxels of t onto a sparse lattice with the given
+// sparsity: output shape is the FullConv-style expansion
+// (n−1)·s + 1 per axis, with t's voxel (x,y,z) stored at (x·sx, y·sy, z·sz)
+// and zeros elsewhere. FFT-based sparse convolution dilates the kernel.
+func (t *Tensor) Dilate(sp Sparsity) *Tensor {
+	if sp == Dense() {
+		return t.Clone()
+	}
+	s := Shape{
+		(t.S.X-1)*sp.X + 1,
+		(t.S.Y-1)*sp.Y + 1,
+		(t.S.Z-1)*sp.Z + 1,
+	}
+	d := New(s)
+	for z := 0; z < t.S.Z; z++ {
+		for y := 0; y < t.S.Y; y++ {
+			for x := 0; x < t.S.X; x++ {
+				d.Data[s.Index(x*sp.X, y*sp.Y, z*sp.Z)] = t.At(x, y, z)
+			}
+		}
+	}
+	return d
+}
+
+// Subsample extracts every sp-th voxel starting at the given offset,
+// producing a tensor of the given shape. It is the adjoint of Dilate.
+func (t *Tensor) Subsample(ox, oy, oz int, sp Sparsity, s Shape) *Tensor {
+	r := New(s)
+	for z := 0; z < s.Z; z++ {
+		for y := 0; y < s.Y; y++ {
+			for x := 0; x < s.X; x++ {
+				r.Data[s.Index(x, y, z)] = t.At(ox+x*sp.X, oy+y*sp.Y, oz+z*sp.Z)
+			}
+		}
+	}
+	return r
+}

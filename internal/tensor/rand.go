@@ -1,0 +1,46 @@
+package tensor
+
+import "math/rand"
+
+// FillUniform fills t with samples drawn uniformly from [lo, hi) using rng.
+// All stochastic initialization in the library goes through explicit
+// *rand.Rand instances so experiments are reproducible.
+func (t *Tensor) FillUniform(rng *rand.Rand, lo, hi float64) {
+	span := hi - lo
+	for i := range t.Data {
+		t.Data[i] = lo + span*rng.Float64()
+	}
+}
+
+// FillNormal fills t with N(mean, stddev²) samples from rng.
+func (t *Tensor) FillNormal(rng *rand.Rand, mean, stddev float64) {
+	for i := range t.Data {
+		t.Data[i] = mean + stddev*rng.NormFloat64()
+	}
+}
+
+// RandomUniform allocates a tensor filled with uniform samples.
+func RandomUniform(rng *rand.Rand, s Shape, lo, hi float64) *Tensor {
+	t := New(s)
+	t.FillUniform(rng, lo, hi)
+	return t
+}
+
+// RandomNormal allocates a tensor filled with Gaussian samples.
+func RandomNormal(rng *rand.Rand, s Shape, mean, stddev float64) *Tensor {
+	t := New(s)
+	t.FillNormal(rng, mean, stddev)
+	return t
+}
+
+// RandomInts allocates a tensor of small random integer values in
+// [-limit, limit]. Integer-valued tensors make floating-point summation
+// exact, which several concurrency tests rely on to compare parallel and
+// sequential reductions bit-for-bit.
+func RandomInts(rng *rand.Rand, s Shape, limit int) *Tensor {
+	t := New(s)
+	for i := range t.Data {
+		t.Data[i] = float64(rng.Intn(2*limit+1) - limit)
+	}
+	return t
+}

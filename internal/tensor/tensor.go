@@ -1,0 +1,233 @@
+// Package tensor provides the dense 3D image substrate used throughout ZNN.
+//
+// A Tensor is a contiguous float64 volume indexed as (x, y, z) with x the
+// fastest-varying dimension: Data[(z*S.Y+y)*S.X+x]. Two-dimensional images
+// are the special case Z == 1 (the paper treats 2D ConvNets as 3D ConvNets
+// with one dimension of size one).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape describes the extent of a 3D volume along each axis.
+type Shape struct {
+	X, Y, Z int
+}
+
+// S3 is shorthand for constructing a Shape.
+func S3(x, y, z int) Shape { return Shape{x, y, z} }
+
+// Cube returns the isotropic shape n×n×n.
+func Cube(n int) Shape { return Shape{n, n, n} }
+
+// Square returns the 2D shape n×n×1.
+func Square(n int) Shape { return Shape{n, n, 1} }
+
+// Volume returns the number of voxels, X*Y*Z.
+func (s Shape) Volume() int { return s.X * s.Y * s.Z }
+
+// Valid reports whether all extents are strictly positive.
+func (s Shape) Valid() bool { return s.X > 0 && s.Y > 0 && s.Z > 0 }
+
+// Add returns the elementwise sum of two shapes.
+func (s Shape) Add(t Shape) Shape { return Shape{s.X + t.X, s.Y + t.Y, s.Z + t.Z} }
+
+// Sub returns the elementwise difference of two shapes.
+func (s Shape) Sub(t Shape) Shape { return Shape{s.X - t.X, s.Y - t.Y, s.Z - t.Z} }
+
+// Scale returns the shape with every extent multiplied by c.
+func (s Shape) Scale(c int) Shape { return Shape{s.X * c, s.Y * c, s.Z * c} }
+
+// Mul returns the elementwise product of two shapes.
+func (s Shape) Mul(t Shape) Shape { return Shape{s.X * t.X, s.Y * t.Y, s.Z * t.Z} }
+
+// Div returns the elementwise quotient of two shapes. It panics if any
+// extent of s is not divisible by the corresponding extent of t; such a
+// mismatch indicates an invalid pooling configuration.
+func (s Shape) Div(t Shape) Shape {
+	if s.X%t.X != 0 || s.Y%t.Y != 0 || s.Z%t.Z != 0 {
+		panic(fmt.Sprintf("tensor: shape %v not divisible by %v", s, t))
+	}
+	return Shape{s.X / t.X, s.Y / t.Y, s.Z / t.Z}
+}
+
+// Min returns the elementwise minimum of two shapes.
+func (s Shape) Min(t Shape) Shape {
+	return Shape{min(s.X, t.X), min(s.Y, t.Y), min(s.Z, t.Z)}
+}
+
+// Max returns the elementwise maximum of two shapes.
+func (s Shape) Max(t Shape) Shape {
+	return Shape{max(s.X, t.X), max(s.Y, t.Y), max(s.Z, t.Z)}
+}
+
+// Fits reports whether s fits inside t along every axis.
+func (s Shape) Fits(t Shape) bool { return s.X <= t.X && s.Y <= t.Y && s.Z <= t.Z }
+
+// ValidConv returns the output shape of a valid convolution of an image of
+// shape s with a kernel of shape k at sparsity (dilation) sp:
+// n − sp·(k−1) along each axis.
+func (s Shape) ValidConv(k Shape, sp Sparsity) Shape {
+	return Shape{
+		s.X - sp.X*(k.X-1),
+		s.Y - sp.Y*(k.Y-1),
+		s.Z - sp.Z*(k.Z-1),
+	}
+}
+
+// FullConv returns the output shape of a full convolution: n + sp·(k−1).
+func (s Shape) FullConv(k Shape, sp Sparsity) Shape {
+	return Shape{
+		s.X + sp.X*(k.X-1),
+		s.Y + sp.Y*(k.Y-1),
+		s.Z + sp.Z*(k.Z-1),
+	}
+}
+
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.X, s.Y, s.Z) }
+
+// Index returns the linear offset of voxel (x, y, z).
+func (s Shape) Index(x, y, z int) int { return (z*s.Y+y)*s.X + x }
+
+// Coords inverts Index, returning the voxel coordinates of linear offset i.
+func (s Shape) Coords(i int) (x, y, z int) {
+	x = i % s.X
+	i /= s.X
+	y = i % s.Y
+	z = i / s.Y
+	return
+}
+
+// Sparsity is the per-axis dilation factor of a sparse convolution
+// (Section II of the paper: "only every s-th image voxel ... enters the
+// linear combination"). Dense convolution is Sparsity{1,1,1}.
+type Sparsity struct {
+	X, Y, Z int
+}
+
+// Dense is the sparsity of an ordinary (non-sparse) convolution.
+func Dense() Sparsity { return Sparsity{1, 1, 1} }
+
+// Uniform returns isotropic sparsity s along every axis.
+func Uniform(s int) Sparsity { return Sparsity{s, s, s} }
+
+// Mul composes two sparsities axis-wise. Composing with the sparsity
+// introduced by each max-filtering layer implements filter rarefaction
+// (skip-kernels, Fig. 2 of the paper).
+func (a Sparsity) Mul(b Sparsity) Sparsity {
+	return Sparsity{a.X * b.X, a.Y * b.Y, a.Z * b.Z}
+}
+
+// Valid reports whether all factors are strictly positive.
+func (a Sparsity) Valid() bool { return a.X > 0 && a.Y > 0 && a.Z > 0 }
+
+func (a Sparsity) String() string { return fmt.Sprintf("%d/%d/%d", a.X, a.Y, a.Z) }
+
+// Tensor is a dense 3D volume of float64 voxels.
+type Tensor struct {
+	S    Shape
+	Data []float64
+}
+
+// New allocates a zero-filled tensor of the given shape.
+func New(s Shape) *Tensor {
+	if !s.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", s))
+	}
+	return &Tensor{S: s, Data: make([]float64, s.Volume())}
+}
+
+// FromData wraps an existing slice as a tensor. The slice length must equal
+// the shape volume; the tensor aliases the slice (no copy).
+func FromData(s Shape, data []float64) *Tensor {
+	if len(data) != s.Volume() {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (volume %d)",
+			len(data), s, s.Volume()))
+	}
+	return &Tensor{S: s, Data: data}
+}
+
+// FromSlice builds a tensor of the given shape from literal values,
+// convenient in tests.
+func FromSlice(s Shape, vals ...float64) *Tensor {
+	t := New(s)
+	if len(vals) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: got %d values for shape %v", len(vals), s))
+	}
+	copy(t.Data, vals)
+	return t
+}
+
+// At returns the voxel at (x, y, z).
+func (t *Tensor) At(x, y, z int) float64 { return t.Data[t.S.Index(x, y, z)] }
+
+// Set stores v at voxel (x, y, z).
+func (t *Tensor) Set(x, y, z int, v float64) { t.Data[t.S.Index(x, y, z)] = v }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{S: t.S, Data: make([]float64, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom copies the contents of src into t. Shapes must match.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if t.S != src.S {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %v vs %v", t.S, src.S))
+	}
+	copy(t.Data, src.Data)
+}
+
+// Zero sets every voxel to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every voxel to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Equal reports exact elementwise equality of shape and contents.
+func (t *Tensor) Equal(u *Tensor) bool {
+	if t.S != u.S {
+		return false
+	}
+	for i, v := range t.Data {
+		if v != u.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between two
+// tensors of identical shape.
+func (t *Tensor) MaxAbsDiff(u *Tensor) float64 {
+	if t.S != u.S {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff shape mismatch %v vs %v", t.S, u.S))
+	}
+	var m float64
+	for i, v := range t.Data {
+		if d := math.Abs(v - u.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// ApproxEqual reports whether two tensors agree elementwise within tol.
+func (t *Tensor) ApproxEqual(u *Tensor, tol float64) bool {
+	return t.S == u.S && t.MaxAbsDiff(u) <= tol
+}
+
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor(%v)", t.S)
+}

@@ -1,0 +1,489 @@
+// Package train implements ZNN's gradient-learning engine: it compiles a
+// computation graph into the task dependency graph of Section V and
+// executes training rounds with the scheduler of Section VI.
+//
+// Each round (one stochastic gradient iteration) proceeds exactly as in the
+// paper: a data-provider task publishes the input images and enqueues the
+// first forward tasks; forward tasks FORCE their edge's previous update
+// task, apply the edge operation, and accumulate into the target node's
+// wait-free sum, with the last contributor fanning out the next layer's
+// forward tasks; when every output node's sum completes, the loss-gradient
+// task seeds the backward pass; backward tasks enqueue update tasks at the
+// lowest priority and accumulate into source-node sums. Update tasks
+// therefore run either lazily on idle workers or are forced just before
+// the next round's forward pass touches their edge.
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"znn/internal/conv"
+	"znn/internal/graph"
+	"znn/internal/ops"
+	"znn/internal/sched"
+	"znn/internal/tensor"
+	"znn/internal/wsum"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the number of scheduler workers (≥1).
+	Workers int
+	// Policy selects the scheduling strategy (default: priority).
+	Policy sched.Policy
+	// Loss is the training loss (default: squared).
+	Loss ops.Loss
+	// Eta is the learning rate.
+	Eta float64
+	// Momentum is the classical momentum coefficient.
+	Momentum float64
+	// DisableSpectral turns off spectral accumulation. By default, when
+	// every edge converging on a node is an FFT convolution with identical
+	// geometry, the edges sum their FFT-domain products and the node runs
+	// a single inverse transform — the execution model assumed by the
+	// paper's Table II costs (f′ inverse transforms per layer instead of
+	// f′·f).
+	DisableSpectral bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Policy == "" {
+		c.Policy = sched.PolicyPriority
+	}
+	if c.Loss == nil {
+		c.Loss = ops.SquaredLoss{}
+	}
+	if c.Eta == 0 {
+		c.Eta = 0.01
+	}
+}
+
+// nodeState is the per-round runtime state of one graph node.
+type nodeState struct {
+	n       *graph.Node
+	fwdSum  *wsum.Sum
+	bwdSum  *wsum.Sum
+	spectra conv.SpectrumCache // forward image spectra shared by out-edges
+	bwdSpec conv.SpectrumCache // backward image spectra shared by in-edges
+
+	// Spectral accumulation: when eligible, the node's forward (backward)
+	// sum runs in the FFT domain with a single inverse transform.
+	fwdSpectral bool
+	bwdSpectral bool
+	fwdCSum     *wsum.ComplexSum
+	bwdCSum     *wsum.ComplexSum
+
+	mu     sync.Mutex
+	fwdImg *tensor.Tensor
+	bwdImg *tensor.Tensor
+}
+
+func (ns *nodeState) setFwd(img *tensor.Tensor) {
+	ns.mu.Lock()
+	ns.fwdImg = img
+	ns.mu.Unlock()
+	ns.spectra.Reset(img)
+}
+
+func (ns *nodeState) setBwd(img *tensor.Tensor) {
+	ns.mu.Lock()
+	ns.bwdImg = img
+	ns.mu.Unlock()
+	ns.bwdSpec.Reset(img)
+}
+
+// FwdImage returns the node's forward image from the last round.
+func (ns *nodeState) FwdImage() *tensor.Tensor {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.fwdImg
+}
+
+// BwdImage returns the node's backward image from the last round.
+func (ns *nodeState) BwdImage() *tensor.Tensor {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.bwdImg
+}
+
+// edgeState tracks the edge's pending update task across rounds.
+type edgeState struct {
+	e  *graph.Edge
+	mu sync.Mutex
+	// update is the update task created by the previous round's backward
+	// pass; the next forward pass forces it (Algorithm 1).
+	update *sched.Task
+}
+
+func (es *edgeState) swapUpdate(t *sched.Task) *sched.Task {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	prev := es.update
+	es.update = t
+	return prev
+}
+
+func (es *edgeState) pendingUpdate() *sched.Task {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	return es.update
+}
+
+// Engine executes training rounds on a computation graph.
+type Engine struct {
+	cfg     Config
+	g       *graph.Graph
+	sch     *sched.Engine
+	inputs  []*graph.Node
+	outputs []*graph.Node
+	nodes   []*nodeState
+	edges   []*edgeState
+
+	mu          sync.Mutex
+	lastLoss    float64
+	outputsLeft int
+	training    bool
+	desired     []*tensor.Tensor
+}
+
+// NewEngine compiles the graph into an execution engine. The graph must
+// validate; nodes with multiple incoming edges must receive only
+// convolution edges (the paper's structural constraint for summing nodes:
+// edge outputs entering a concurrent sum must be freshly allocated images,
+// which convolution edges guarantee).
+func NewEngine(g *graph.Graph, cfg Config) (*Engine, error) {
+	cfg.fillDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	for _, n := range g.Nodes {
+		if len(n.In) > 1 {
+			for _, e := range n.In {
+				if _, ok := e.Op.(*graph.ConvOp); !ok {
+					return nil, fmt.Errorf(
+						"train: node %s has %d convergent edges but edge %s is %s (convergent edges must be convolutions)",
+						n.Name, len(n.In), e, e.Op.Kind())
+				}
+			}
+		}
+	}
+	g.ComputePriorities()
+	en := &Engine{
+		cfg:      cfg,
+		g:        g,
+		sch:      sched.New(cfg.Workers, sched.NewStrategy(cfg.Policy, cfg.Workers)),
+		inputs:   g.Inputs(),
+		outputs:  g.Outputs(),
+		training: true,
+	}
+	en.nodes = make([]*nodeState, len(g.Nodes))
+	for i, n := range g.Nodes {
+		ns := &nodeState{n: n}
+		if len(n.In) > 0 {
+			ns.fwdSum = wsum.New(len(n.In))
+		}
+		if len(n.Out) > 0 {
+			ns.bwdSum = wsum.New(len(n.Out))
+		}
+		if !cfg.DisableSpectral {
+			if len(n.In) > 1 && graph.SpectralEligible(n.In) {
+				ns.fwdSpectral = true
+				ns.fwdCSum = wsum.NewComplex(len(n.In))
+			}
+			if len(n.Out) > 1 && graph.SpectralEligible(n.Out) {
+				ns.bwdSpectral = true
+				ns.bwdCSum = wsum.NewComplex(len(n.Out))
+			}
+		}
+		en.nodes[i] = ns
+	}
+	en.edges = make([]*edgeState, len(g.Edges))
+	for i, e := range g.Edges {
+		en.edges[i] = &edgeState{e: e}
+	}
+	return en, nil
+}
+
+// Workers returns the number of scheduler workers.
+func (en *Engine) Workers() int { return en.cfg.Workers }
+
+// SetTraining toggles dropout layers between training and inference mode.
+func (en *Engine) SetTraining(training bool) {
+	en.mu.Lock()
+	en.training = training
+	en.mu.Unlock()
+	for _, e := range en.g.Edges {
+		if d, ok := e.Op.(*graph.DropoutOp); ok {
+			d.Train = training
+		}
+	}
+}
+
+// Round runs one gradient iteration: forward pass on the inputs, loss
+// against the desired outputs, backward pass, and (lazily executed) weight
+// updates. It returns the loss. inputs and desired follow the order of
+// g.Inputs() and g.Outputs().
+func (en *Engine) Round(inputs, desired []*tensor.Tensor) (float64, error) {
+	if err := en.startRound(inputs, desired, true); err != nil {
+		return 0, err
+	}
+	en.sch.WaitWork()
+	if err := en.sch.Err(); err != nil {
+		return 0, err
+	}
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.lastLoss, nil
+}
+
+// Forward runs a forward-only pass (inference) and returns the output
+// images in g.Outputs() order.
+func (en *Engine) Forward(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if err := en.startRound(inputs, nil, false); err != nil {
+		return nil, err
+	}
+	en.sch.WaitWork()
+	if err := en.sch.Err(); err != nil {
+		return nil, err
+	}
+	outs := make([]*tensor.Tensor, len(en.outputs))
+	for i, o := range en.outputs {
+		outs[i] = en.nodes[o.ID].FwdImage()
+	}
+	return outs, nil
+}
+
+func (en *Engine) startRound(inputs, desired []*tensor.Tensor, backward bool) error {
+	if len(inputs) != len(en.inputs) {
+		return fmt.Errorf("train: got %d inputs, graph has %d input nodes",
+			len(inputs), len(en.inputs))
+	}
+	for i, in := range inputs {
+		if in.S != en.inputs[i].Shape {
+			return fmt.Errorf("train: input %d shape %v, want %v",
+				i, in.S, en.inputs[i].Shape)
+		}
+	}
+	if backward {
+		if len(desired) != len(en.outputs) {
+			return fmt.Errorf("train: got %d desired outputs, graph has %d output nodes",
+				len(desired), len(en.outputs))
+		}
+		for i, d := range desired {
+			if d.S != en.outputs[i].Shape {
+				return fmt.Errorf("train: desired output %d shape %v, want %v",
+					i, d.S, en.outputs[i].Shape)
+			}
+		}
+	}
+	// Reset per-round sums.
+	for _, ns := range en.nodes {
+		if ns.fwdSum != nil {
+			ns.fwdSum.Reset(len(ns.n.In))
+		}
+		if ns.fwdCSum != nil {
+			ns.fwdCSum.Reset(len(ns.n.In))
+		}
+		if backward && ns.bwdSum != nil {
+			ns.bwdSum.Reset(len(ns.n.Out))
+		}
+		if backward && ns.bwdCSum != nil {
+			ns.bwdCSum.Reset(len(ns.n.Out))
+		}
+	}
+	en.mu.Lock()
+	en.outputsLeft = len(en.outputs)
+	en.desired = desired
+	en.mu.Unlock()
+
+	// The data-provider task (Fig. 3, orange node).
+	providerPrio := int64(1 << 30) // runs before any forward task
+	en.sch.Spawn(sched.Work, providerPrio, func() {
+		for i, in := range inputs {
+			node := en.inputs[i]
+			en.nodes[node.ID].setFwd(in)
+			for _, e := range node.Out {
+				en.spawnForward(e, in, backward)
+			}
+		}
+	})
+	return nil
+}
+
+// spawnForward enqueues the forward task of edge e consuming image I
+// (Algorithm 1, FORWARD-TASK + FORCE).
+func (en *Engine) spawnForward(e *graph.Edge, img *tensor.Tensor, backward bool) {
+	es := en.edges[e.ID]
+	en.sch.Spawn(sched.Work, e.To.FwdPrio, func() {
+		sub := en.sch.NewTask(sched.Work, e.To.FwdPrio, func() {
+			en.doForward(e, img, backward)
+		})
+		en.sch.Force(es.pendingUpdate(), sub)
+	})
+}
+
+// doForward is Algorithm 1's DO-FORWARD.
+func (en *Engine) doForward(e *graph.Edge, img *tensor.Tensor, backward bool) {
+	us := en.nodes[e.From.ID]
+	vs := en.nodes[e.To.ID]
+	var sum *tensor.Tensor
+	if vs.fwdSpectral {
+		op := e.Op.(*graph.ConvOp)
+		prod := op.Tr.ForwardProduct(img, op.Kernel, &us.spectra)
+		if !vs.fwdCSum.Add(prod) {
+			return
+		}
+		sum = op.Tr.FinishForward(vs.fwdCSum.Value())
+	} else {
+		out := e.Op.Forward(img, &graph.FwdCtx{Spectra: &us.spectra})
+		if !vs.fwdSum.Add(out) {
+			return
+		}
+		sum = vs.fwdSum.Value()
+	}
+	vs.setFwd(sum)
+	if e.To.IsOutput() {
+		en.outputReady(backward)
+		return
+	}
+	for _, e2 := range e.To.Out {
+		en.spawnForward(e2, sum, backward)
+	}
+}
+
+// outputReady fires when one output node's forward sum completes; the last
+// one spawns the loss-gradient task (Fig. 3, dark red nodes).
+func (en *Engine) outputReady(backward bool) {
+	en.mu.Lock()
+	en.outputsLeft--
+	ready := en.outputsLeft == 0
+	en.mu.Unlock()
+	if !ready || !backward {
+		return
+	}
+	// Loss priority: above all backward tasks so the backward pass starts
+	// immediately.
+	lossPrio := int64(1 << 30)
+	en.sch.Spawn(sched.Work, lossPrio, func() {
+		actual := make([]*tensor.Tensor, len(en.outputs))
+		for i, o := range en.outputs {
+			actual[i] = en.nodes[o.ID].FwdImage()
+		}
+		en.mu.Lock()
+		desired := en.desired
+		en.mu.Unlock()
+		loss, grads := en.cfg.Loss.Eval(actual, desired)
+		en.mu.Lock()
+		en.lastLoss = loss
+		en.mu.Unlock()
+		for i, o := range en.outputs {
+			en.nodes[o.ID].setBwd(grads[i])
+			for _, e := range o.In {
+				en.spawnBackward(e, grads[i])
+			}
+		}
+	})
+}
+
+// spawnBackward enqueues the backward task of edge e = (u, v) consuming the
+// backward image at v (Algorithm 2).
+func (en *Engine) spawnBackward(e *graph.Edge, img *tensor.Tensor) {
+	en.sch.Spawn(sched.Work, e.From.BwdPrio, func() {
+		en.doBackward(e, img)
+	})
+}
+
+// doBackward is Algorithm 2's BACKWARD-TASK body. The order matters: the
+// backward transform runs first (trainable transfer ops record their bias
+// gradient during it), then the update task is enqueued, then the result
+// joins the source node's sum.
+func (en *Engine) doBackward(e *graph.Edge, img *tensor.Tensor) {
+	vs := en.nodes[e.To.ID]
+	us := en.nodes[e.From.ID]
+
+	var out *tensor.Tensor // non-spectral backward output
+	var prod []complex128  // spectral backward product
+	if us.bwdSpectral {
+		op := e.Op.(*graph.ConvOp)
+		prod = op.Tr.BackwardProduct(img, op.Kernel, &vs.bwdSpec)
+	} else {
+		out = e.Op.Backward(img, &graph.BwdCtx{Spectra: &vs.bwdSpec})
+	}
+
+	if trainable, ok := e.Op.(graph.Trainable); ok {
+		fwdIn := us.FwdImage() // If = u.fwd_image, captured now
+		opt := graph.UpdateOpts{Eta: en.cfg.Eta, Momentum: en.cfg.Momentum}
+		upd := en.sch.NewTask(sched.Update, graph.UpdatePriority, func() {
+			trainable.Update(fwdIn, img, opt)
+		})
+		en.edges[e.ID].swapUpdate(upd)
+		en.sch.Enqueue(upd)
+	}
+
+	var sum *tensor.Tensor
+	if us.bwdSpectral {
+		if !us.bwdCSum.Add(prod) {
+			return
+		}
+		sum = e.Op.(*graph.ConvOp).Tr.FinishBackward(us.bwdCSum.Value())
+	} else {
+		if !us.bwdSum.Add(out) {
+			return
+		}
+		sum = us.bwdSum.Value()
+	}
+	us.setBwd(sum)
+	if e.From.IsInput() {
+		return
+	}
+	for _, e2 := range e.From.In {
+		en.spawnBackward(e2, sum)
+	}
+}
+
+// Drain executes all pending update tasks (normally they are forced by the
+// next round's forward pass; call Drain after the final round so the last
+// gradients are applied).
+func (en *Engine) Drain() error {
+	en.sch.Drain()
+	return en.sch.Err()
+}
+
+// InputGradient returns the gradient of the loss with respect to input i,
+// available after a Round (a feature the general graph formulation gives
+// for free; useful for sensitivity analysis).
+func (en *Engine) InputGradient(i int) *tensor.Tensor {
+	return en.nodes[en.inputs[i].ID].BwdImage()
+}
+
+// NodeForward returns the forward image at the named node from the last
+// round, or nil if unknown.
+func (en *Engine) NodeForward(name string) *tensor.Tensor {
+	for _, ns := range en.nodes {
+		if ns.n.Name == name {
+			return ns.FwdImage()
+		}
+	}
+	return nil
+}
+
+// SchedulerStats returns scheduler counters for the current engine.
+func (en *Engine) SchedulerStats() sched.Stats { return en.sch.Stats() }
+
+// Loss returns the loss of the most recent Round.
+func (en *Engine) Loss() float64 {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	return en.lastLoss
+}
+
+// Close drains pending updates and shuts the scheduler down.
+func (en *Engine) Close() error {
+	err := en.Drain()
+	en.sch.Shutdown()
+	return err
+}

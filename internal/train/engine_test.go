@@ -1,0 +1,534 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"znn/internal/conv"
+	"znn/internal/graph"
+	"znn/internal/net"
+	"znn/internal/ops"
+	"znn/internal/sched"
+	"znn/internal/tensor"
+)
+
+// buildPair builds two identical networks (same seed): one for the engine
+// under test, one as the serial reference.
+func buildPair(t *testing.T, spec string, o net.BuildOptions) (*net.Network, *net.Network) {
+	t.Helper()
+	a, err := net.Build(net.MustParse(spec), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Build(net.MustParse(spec), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestForwardMatchesSerial(t *testing.T) {
+	o := net.BuildOptions{Width: 3, OutputExtent: 3, Seed: 1}
+	par, ser := buildPair(t, "C3-Trelu-M2-C3-Ttanh", o)
+	rng := rand.New(rand.NewSource(2))
+	in := tensor.RandomUniform(rng, par.InputShape(), -1, 1)
+
+	want, err := ser.ForwardSerial([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		en, err := NewEngine(par.G, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := en.Forward([]*tensor.Tensor{in.Clone()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := got[0].MaxAbsDiff(want[0]); d > 1e-9 {
+			t.Errorf("workers=%d: parallel forward differs from serial by %g", workers, d)
+		}
+		if err := en.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestForwardMatchesSerialAllPolicies(t *testing.T) {
+	o := net.BuildOptions{Width: 4, OutputExtent: 2, Seed: 3}
+	par, ser := buildPair(t, "C3-Trelu-C3-Tlogistic", o)
+	rng := rand.New(rand.NewSource(4))
+	in := tensor.RandomUniform(rng, par.InputShape(), -1, 1)
+	want, err := ser.ForwardSerial([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []sched.Policy{sched.PolicyPriority, sched.PolicyFIFO, sched.PolicyLIFO, sched.PolicySteal} {
+		en, err := NewEngine(par.G, Config{Workers: 3, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := en.Forward([]*tensor.Tensor{in.Clone()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := got[0].MaxAbsDiff(want[0]); d > 1e-9 {
+			t.Errorf("policy %s: parallel forward differs by %g", pol, d)
+		}
+		if err := en.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Full training equivalence: N parallel rounds produce the same weights
+// and losses as N serial rounds, for both conv methods.
+func TestTrainingMatchesSerial(t *testing.T) {
+	for _, tune := range []conv.TunePolicy{conv.TuneForceDirect, conv.TuneForceFFT} {
+		o := net.BuildOptions{
+			Width: 3, OutputExtent: 2, Seed: 5,
+			Tuner: &conv.Autotuner{Policy: tune},
+		}
+		par, ser := buildPair(t, "C3-Trelu-M2-C2-Ttanh", o)
+		rng := rand.New(rand.NewSource(6))
+		en, err := NewEngine(par.G, Config{Workers: 4, Eta: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := graph.UpdateOpts{Eta: 0.05}
+		for round := 0; round < 5; round++ {
+			in := tensor.RandomUniform(rng, par.InputShape(), -1, 1)
+			des := tensor.RandomUniform(rng, par.OutputShape(), -0.5, 0.5)
+			gotLoss, err := en.Round([]*tensor.Tensor{in.Clone()}, []*tensor.Tensor{des.Clone()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLoss, err := ser.RoundSerial([]*tensor.Tensor{in}, []*tensor.Tensor{des}, ops.SquaredLoss{}, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(gotLoss-wantLoss) > 1e-8*(1+math.Abs(wantLoss)) {
+				t.Fatalf("%v round %d: loss %g vs serial %g", tune, round, gotLoss, wantLoss)
+			}
+		}
+		if err := en.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// After draining, weights must match the serial reference.
+		pp, sp := par.Params(), ser.Params()
+		var maxd float64
+		for i := range pp {
+			if d := math.Abs(pp[i] - sp[i]); d > maxd {
+				maxd = d
+			}
+		}
+		if maxd > 1e-8 {
+			t.Errorf("%v: weights diverged from serial by %g", tune, maxd)
+		}
+	}
+}
+
+// Gradient check through a whole network: analytic parameter gradients
+// (recovered from one engine round with η=1 as w_before − w_after) must
+// match finite differences of the loss.
+func TestEngineGradientCheck(t *testing.T) {
+	o := net.BuildOptions{Width: 2, OutputExtent: 2, Seed: 7}
+	nw, ref := buildPair(t, "C2-Ttanh-C2", o)
+	rng := rand.New(rand.NewSource(8))
+	in := tensor.RandomUniform(rng, nw.InputShape(), -1, 1)
+	des := tensor.RandomUniform(rng, nw.OutputShape(), -0.5, 0.5)
+
+	before := nw.Params()
+	en, err := NewEngine(nw.G, Config{Workers: 2, Eta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := en.Round([]*tensor.Tensor{in.Clone()}, []*tensor.Tensor{des.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := nw.Params()
+	grad := make([]float64, len(before))
+	for i := range grad {
+		grad[i] = before[i] - after[i] // η = 1
+	}
+
+	// Finite differences on the reference network.
+	const h = 1e-6
+	lossAt := func(p []float64) float64 {
+		if err := ref.SetParams(p); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ref.ForwardSerial([]*tensor.Tensor{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _ := ops.SquaredLoss{}.Eval(out, []*tensor.Tensor{des})
+		return l
+	}
+	for i := 0; i < len(before); i += 3 { // sample every third parameter
+		p := append([]float64(nil), before...)
+		p[i] += h
+		lp := lossAt(p)
+		p[i] -= 2 * h
+		lm := lossAt(p)
+		want := (lp - lm) / (2 * h)
+		if math.Abs(grad[i]-want) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("param %d: engine grad %g, finite diff %g", i, grad[i], want)
+		}
+	}
+}
+
+func TestTrainingConverges(t *testing.T) {
+	// The engine must drive the loss down on a fixed sample (sanity that
+	// updates actually apply through the lazy FORCE machinery).
+	nw, err := net.Build(net.MustParse("C3-Ttanh-C3"), net.BuildOptions{
+		Width: 3, OutputExtent: 2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	in := tensor.RandomUniform(rng, nw.InputShape(), -1, 1)
+	des := tensor.RandomUniform(rng, nw.OutputShape(), -0.5, 0.5)
+	en, err := NewEngine(nw.G, Config{Workers: 2, Eta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	first, err := en.Round([]*tensor.Tensor{in}, []*tensor.Tensor{des})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 40; i++ {
+		last, err = en.Round([]*tensor.Tensor{in}, []*tensor.Tensor{des})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first*0.5 {
+		t.Errorf("loss did not halve: first %g last %g", first, last)
+	}
+}
+
+func TestForceStatisticsAccumulate(t *testing.T) {
+	// Over several rounds the engine must exercise the FORCE machinery:
+	// updates from round r are forced by round r+1's forward tasks.
+	// Wide net with 5³ kernels: update tasks (kernel gradients) are slow
+	// enough that the next round's forward tasks reliably catch some of
+	// them still queued or executing.
+	nw, err := net.Build(net.MustParse("C5-Trelu-C5"), net.BuildOptions{
+		Width: 12, OutputExtent: 6, Seed: 11,
+		Tuner: &conv.Autotuner{Policy: conv.TuneForceDirect},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	// A single worker maximizes the chance that updates are still queued
+	// or executing when the next round's forward tasks force them.
+	en, err := NewEngine(nw.G, Config{Workers: 1, Eta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	lazySeen := false
+	for i := 0; i < 50; i++ {
+		in := tensor.RandomUniform(rng, nw.InputShape(), -1, 1)
+		des := tensor.RandomUniform(rng, nw.OutputShape(), -0.5, 0.5)
+		if _, err := en.Round([]*tensor.Tensor{in}, []*tensor.Tensor{des}); err != nil {
+			t.Fatal(err)
+		}
+		st := en.SchedulerStats()
+		if st.ForcedClaimed+st.ForcedAttached > 0 {
+			lazySeen = true
+			break
+		}
+	}
+	st := en.SchedulerStats()
+	if st.ForcedInline+st.ForcedClaimed+st.ForcedAttached == 0 {
+		t.Fatal("no FORCE operations recorded")
+	}
+	// Whether an update is still queued when its edge's forward task
+	// arrives is timing-dependent; across 50 rounds of a 42-edge network
+	// on one worker the lazy path should fire. (The sched package tests
+	// all three paths deterministically.)
+	if !lazySeen {
+		t.Error("updates were never stolen or attached across 50 rounds")
+	}
+}
+
+func TestInputGradientAvailable(t *testing.T) {
+	nw, err := net.Build(net.MustParse("C2-Ttanh"), net.BuildOptions{
+		Width: 1, OutputExtent: 2, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	in := tensor.RandomUniform(rng, nw.InputShape(), -1, 1)
+	des := tensor.RandomUniform(rng, nw.OutputShape(), -0.5, 0.5)
+	before := nw.Params()
+	en, err := NewEngine(nw.G, Config{Workers: 1, Eta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	if _, err := en.Round([]*tensor.Tensor{in}, []*tensor.Tensor{des}); err != nil {
+		t.Fatal(err)
+	}
+	g := en.InputGradient(0)
+	if g == nil || g.S != nw.InputShape() {
+		t.Fatalf("input gradient missing or wrong shape: %v", g)
+	}
+	// The gradient was computed at the pre-round weights; restore them
+	// (after draining pending updates) before the finite-difference check.
+	if err := en.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetParams(before); err != nil {
+		t.Fatal(err)
+	}
+	// Finite-difference check on one input voxel.
+	const h = 1e-6
+	lossOf := func(x *tensor.Tensor) float64 {
+		out, err := nw.ForwardSerial([]*tensor.Tensor{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _ := ops.SquaredLoss{}.Eval(out, []*tensor.Tensor{des})
+		return l
+	}
+	p := in.Clone()
+	p.Data[0] += h
+	m := in.Clone()
+	m.Data[0] -= h
+	want := (lossOf(p) - lossOf(m)) / (2 * h)
+	if math.Abs(g.Data[0]-want) > 1e-4*(1+math.Abs(want)) {
+		t.Errorf("input grad %g, finite diff %g", g.Data[0], want)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	nw, err := net.Build(net.MustParse("C2-Trelu"), net.BuildOptions{
+		Width: 1, OutputExtent: 2, Seed: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := NewEngine(nw.G, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	// Wrong input count.
+	if _, err := en.Forward(nil); err == nil {
+		t.Error("missing inputs not rejected")
+	}
+	// Wrong input shape.
+	if _, err := en.Forward([]*tensor.Tensor{tensor.New(tensor.Cube(2))}); err == nil {
+		t.Error("wrong input shape not rejected")
+	}
+	// Wrong desired shape.
+	in := tensor.New(nw.InputShape())
+	if _, err := en.Round([]*tensor.Tensor{in}, []*tensor.Tensor{tensor.New(tensor.Cube(9))}); err == nil {
+		t.Error("wrong desired shape not rejected")
+	}
+	// Wrong desired count.
+	if _, err := en.Round([]*tensor.Tensor{in}, nil); err == nil {
+		t.Error("missing desired not rejected")
+	}
+}
+
+func TestConvergentNonConvEdgesRejected(t *testing.T) {
+	// Two transfer edges converging on one node violate the summing-node
+	// constraint and must be rejected at engine construction.
+	g := graph.New()
+	a := g.AddNode("a", tensor.Cube(4))
+	b := g.AddNode("b", tensor.Cube(4))
+	c := g.AddNode("c", tensor.Cube(4))
+	g.Connect(a, c, graph.NewTransferOp(ops.ReLU{}, 0))
+	g.Connect(b, c, graph.NewTransferOp(ops.ReLU{}, 0))
+	if _, err := NewEngine(g, Config{Workers: 1}); err == nil {
+		t.Error("convergent transfer edges not rejected")
+	}
+}
+
+func TestDiamondTopologyTrains(t *testing.T) {
+	// A non-layered DAG: input splits into two conv paths that converge.
+	rng := rand.New(rand.NewSource(16))
+	g := graph.New()
+	in := g.AddNode("in", tensor.Cube(8))
+	a := g.AddNode("a", tensor.Cube(6))
+	b := g.AddNode("b", tensor.Cube(6))
+	outN := g.AddNode("out", tensor.Cube(4))
+	mk := func(s tensor.Shape) *graph.ConvOp {
+		k := tensor.RandomUniform(rng, tensor.Cube(3), -0.3, 0.3)
+		return graph.NewConvOp(s, k, tensor.Dense(), conv.Direct, false, nil)
+	}
+	g.Connect(in, a, mk(in.Shape))
+	g.Connect(in, b, mk(in.Shape))
+	g.Connect(a, outN, mk(a.Shape))
+	g.Connect(b, outN, mk(b.Shape))
+
+	en, err := NewEngine(g, Config{Workers: 3, Eta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	input := tensor.RandomUniform(rng, in.Shape, -1, 1)
+	des := tensor.RandomUniform(rng, outN.Shape, -0.5, 0.5)
+	first, err := en.Round([]*tensor.Tensor{input}, []*tensor.Tensor{des})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 20; i++ {
+		if last, err = en.Round([]*tensor.Tensor{input}, []*tensor.Tensor{des}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Errorf("diamond net did not learn: %g → %g", first, last)
+	}
+}
+
+func TestMultiOutputSoftmax(t *testing.T) {
+	// OutWidth > 1 with a softmax loss across the output maps.
+	nw, err := net.Build(net.MustParse("C3-Trelu-C3"), net.BuildOptions{
+		Width: 2, OutWidth: 3, OutputExtent: 2, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Outputs) != 3 {
+		t.Fatalf("built %d outputs", len(nw.Outputs))
+	}
+	rng := rand.New(rand.NewSource(18))
+	in := tensor.RandomUniform(rng, nw.InputShape(), -1, 1)
+	des := make([]*tensor.Tensor, 3)
+	for i := range des {
+		des[i] = tensor.New(nw.OutputShape())
+	}
+	for v := 0; v < nw.OutputShape().Volume(); v++ {
+		des[rng.Intn(3)].Data[v] = 1
+	}
+	en, err := NewEngine(nw.G, Config{Workers: 2, Eta: 0.05, Loss: ops.SoftmaxCrossEntropy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	first, err := en.Round([]*tensor.Tensor{in}, des)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 25; i++ {
+		if last, err = en.Round([]*tensor.Tensor{in}, des); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Errorf("softmax training did not reduce loss: %g → %g", first, last)
+	}
+}
+
+func TestDropoutTrainingMode(t *testing.T) {
+	nw, err := net.Build(net.MustParse("C3-Trelu-D0.6-C3"), net.BuildOptions{
+		Width: 2, OutputExtent: 2, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20))
+	in := tensor.RandomUniform(rng, nw.InputShape(), 0.5, 1)
+	en, err := NewEngine(nw.G, Config{Workers: 2, Eta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	// Training mode: two forward passes differ (fresh masks).
+	a, err := en.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCopy := a[0].Clone()
+	b, err := en.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aCopy.Equal(b[0]) {
+		t.Error("dropout training passes identical (mask not redrawn)")
+	}
+	// Inference mode: deterministic.
+	en.SetTraining(false)
+	c, err := en.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cCopy := c[0].Clone()
+	d, err := en.Forward([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cCopy.Equal(d[0]) {
+		t.Error("inference passes differ")
+	}
+}
+
+func TestMemoizedTrainingMatchesUnmemoized(t *testing.T) {
+	// FFT memoization must not change results, only transform counts.
+	base := net.BuildOptions{Width: 2, OutputExtent: 2, Seed: 21,
+		Tuner: &conv.Autotuner{Policy: conv.TuneForceFFT}}
+	memo := base
+	memo.Memoize = true
+	a, err := net.Build(net.MustParse("C3-Ttanh-C3"), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Build(net.MustParse("C3-Ttanh-C3"), memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	ea, err := NewEngine(a.G, Config{Workers: 2, Eta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := NewEngine(b.G, Config{Workers: 2, Eta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		in := tensor.RandomUniform(rng, a.InputShape(), -1, 1)
+		des := tensor.RandomUniform(rng, a.OutputShape(), -0.5, 0.5)
+		la, err := ea.Round([]*tensor.Tensor{in.Clone()}, []*tensor.Tensor{des.Clone()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := eb.Round([]*tensor.Tensor{in.Clone()}, []*tensor.Tensor{des.Clone()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(la-lb) > 1e-8*(1+math.Abs(la)) {
+			t.Fatalf("round %d: memoized loss %g vs %g", i, lb, la)
+		}
+	}
+	if err := ea.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		if math.Abs(pa[i]-pb[i]) > 1e-8 {
+			t.Fatalf("memoized weights differ at %d: %g vs %g", i, pb[i], pa[i])
+		}
+	}
+}

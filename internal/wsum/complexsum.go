@@ -1,0 +1,83 @@
+package wsum
+
+import (
+	"fmt"
+	"sync"
+
+	"znn/internal/mempool"
+)
+
+// ComplexSum is Algorithm 4 over complex spectra: the accumulation used by
+// spectral mode, where convolution edges converging on a node sum their
+// FFT-domain products and the node performs a single inverse transform
+// (this is the execution model behind Table II's f′-inverse-transform
+// forward cost).
+//
+// Contributions must come from mempool.Spectra; buffers consumed as
+// partial sums are returned to the pool, and the final buffer is handed to
+// the caller of Value (who releases it after the inverse transform).
+type ComplexSum struct {
+	mu       sync.Mutex
+	sum      []complex128
+	total    int
+	required int
+}
+
+// NewComplex returns a spectral summation expecting required contributions.
+func NewComplex(required int) *ComplexSum {
+	if required < 1 {
+		panic(fmt.Sprintf("wsum: required must be ≥ 1, got %d", required))
+	}
+	return &ComplexSum{required: required}
+}
+
+// Add contributes v, transferring ownership. It returns true for exactly
+// one caller — the one completing the sum. Only pointer swaps happen under
+// the lock; the O(M) complex additions run outside it.
+func (s *ComplexSum) Add(v []complex128) (last bool) {
+	var vPrime []complex128
+	for {
+		s.mu.Lock()
+		if s.sum == nil {
+			s.sum = v
+			v = nil
+			s.total++
+			last = s.total == s.required
+		} else {
+			vPrime = s.sum
+			s.sum = nil
+		}
+		s.mu.Unlock()
+		if v == nil {
+			return last
+		}
+		for i := range v {
+			v[i] += vPrime[i]
+		}
+		mempool.Spectra.Put(vPrime)
+	}
+}
+
+// Value returns the completed sum buffer; the caller owns it (and should
+// return it to mempool.Spectra when done).
+func (s *ComplexSum) Value() []complex128 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.total != s.required {
+		panic(fmt.Sprintf("wsum: Value before completion (%d of %d contributions)",
+			s.total, s.required))
+	}
+	return s.sum
+}
+
+// Reset prepares for a new round.
+func (s *ComplexSum) Reset(required int) {
+	if required < 1 {
+		panic(fmt.Sprintf("wsum: required must be ≥ 1, got %d", required))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sum = nil
+	s.total = 0
+	s.required = required
+}

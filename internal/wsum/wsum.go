@@ -1,0 +1,141 @@
+// Package wsum implements the almost wait-free concurrent summation of
+// Section VII-B (Algorithm 4) of the paper.
+//
+// When multiple convolutions converge on one node of the computation graph,
+// their results must be accumulated into a single image. The naive approach
+// holds a lock for the duration of each image addition, making critical
+// section time scale with image volume n³. Algorithm 4 keeps only pointer
+// operations inside the critical section: each thread repeatedly tries to
+// park its pointer in the shared slot; on failure it takes the parked image
+// instead, adds it into its own outside the lock, and retries. The thread
+// that contributes the final addition observes total == required and
+// reports completion, at which point the slot holds the full sum.
+package wsum
+
+import (
+	"fmt"
+	"sync"
+
+	"znn/internal/tensor"
+)
+
+// Sum accumulates a fixed number of tensors concurrently. Create one with
+// New, call Add from any number of goroutines (collectively exactly
+// `required` times), then read the result with Value on the goroutine that
+// received last == true.
+type Sum struct {
+	mu       sync.Mutex
+	sum      *tensor.Tensor
+	total    int
+	required int
+}
+
+// New returns a summation object expecting exactly required contributions.
+func New(required int) *Sum {
+	if required < 1 {
+		panic(fmt.Sprintf("wsum: required must be ≥ 1, got %d", required))
+	}
+	return &Sum{required: required}
+}
+
+// Required returns the number of contributions the sum expects.
+func (s *Sum) Required() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.required
+}
+
+// Add contributes v to the sum, transliterating Algorithm 4. It returns
+// true for exactly one caller: the one whose contribution completed the
+// sum. The caller must not use v afterwards — ownership transfers to the
+// Sum (v's buffer may become the final result or be consumed as a partial).
+func (s *Sum) Add(v *tensor.Tensor) (last bool) {
+	var vPrime *tensor.Tensor
+	for {
+		s.mu.Lock()
+		if s.sum == nil {
+			s.sum = v
+			v = nil
+			s.total++
+			last = s.total == s.required
+		} else {
+			vPrime = s.sum
+			s.sum = nil
+		}
+		s.mu.Unlock()
+		if v == nil {
+			return last
+		}
+		// The expensive image addition happens outside the critical
+		// section, on this thread's private copy.
+		v.Add(vPrime)
+	}
+}
+
+// Value returns the accumulated tensor. It must only be called after some
+// Add returned true; the result is the completed sum.
+func (s *Sum) Value() *tensor.Tensor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.total != s.required {
+		panic(fmt.Sprintf("wsum: Value before completion (%d of %d contributions)",
+			s.total, s.required))
+	}
+	return s.sum
+}
+
+// Reset prepares the object for a new round with the given number of
+// expected contributions, releasing the previous result.
+func (s *Sum) Reset(required int) {
+	if required < 1 {
+		panic(fmt.Sprintf("wsum: required must be ≥ 1, got %d", required))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sum = nil
+	s.total = 0
+	s.required = required
+}
+
+// LockedSum is the naive baseline for experiment E11: the whole image
+// addition happens inside the critical section, so lock hold time scales
+// with image volume.
+type LockedSum struct {
+	mu       sync.Mutex
+	sum      *tensor.Tensor
+	total    int
+	required int
+}
+
+// NewLocked returns a naive locked summation expecting required
+// contributions.
+func NewLocked(required int) *LockedSum {
+	if required < 1 {
+		panic(fmt.Sprintf("wsum: required must be ≥ 1, got %d", required))
+	}
+	return &LockedSum{required: required}
+}
+
+// Add contributes v under the lock, returning true for the completing call.
+func (s *LockedSum) Add(v *tensor.Tensor) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sum == nil {
+		s.sum = v
+	} else {
+		s.sum.Add(v)
+	}
+	s.total++
+	return s.total == s.required
+}
+
+// Value returns the accumulated tensor after completion.
+func (s *LockedSum) Value() *tensor.Tensor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.total != s.required {
+		panic(fmt.Sprintf("wsum: Value before completion (%d of %d contributions)",
+			s.total, s.required))
+	}
+	return s.sum
+}

@@ -1,0 +1,257 @@
+// Package znn is a pure-Go implementation of ZNN, the task-parallel
+// training engine for 3D (and 2D) convolutional networks on multi-core
+// shared-memory machines described in:
+//
+//	A. Zlateski, K. Lee, H. S. Seung.
+//	"ZNN – A Fast and Scalable Algorithm for Training 3D Convolutional
+//	Networks on Multi-Core and Many-Core Shared Memory Machines."
+//	IPDPS 2016. arXiv:1510.06706.
+//
+// The package exposes:
+//
+//   - Network: layered ConvNets built from a compact spec string
+//     ("C3-Trelu-M2-C3-Trelu-..."), trained with the paper's priority
+//     scheduler, FFT/direct autotuned convolution, FFT memoization, and
+//     wait-free concurrent summation.
+//   - GraphBuilder: arbitrary-topology computation graphs ("ZNN allows for
+//     easy extensions and can efficiently train a ConvNet with an
+//     arbitrary topology").
+//   - Sliding-window training: max-pooling specs are convertible to
+//     max-filtering networks with sparse convolutions (skip-kernels),
+//     producing dense output patches efficiently.
+package znn
+
+import (
+	"fmt"
+
+	"znn/internal/conv"
+	"znn/internal/net"
+	"znn/internal/ops"
+	"znn/internal/sched"
+	"znn/internal/tensor"
+	"znn/internal/train"
+)
+
+// Tensor is a dense 3D image volume (2D images have Z extent 1).
+type Tensor = tensor.Tensor
+
+// Shape is the extent of a volume along x, y, z.
+type Shape = tensor.Shape
+
+// Sparsity is the per-axis dilation of sparse convolutions and filters.
+type Sparsity = tensor.Sparsity
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(s Shape) *Tensor { return tensor.New(s) }
+
+// S3 constructs a Shape.
+func S3(x, y, z int) Shape { return tensor.S3(x, y, z) }
+
+// Cube returns the isotropic 3D shape n×n×n.
+func Cube(n int) Shape { return tensor.Cube(n) }
+
+// Square returns the 2D shape n×n×1.
+func Square(n int) Shape { return tensor.Square(n) }
+
+// Dense is the sparsity of ordinary convolution.
+func Dense() Sparsity { return tensor.Dense() }
+
+// Uniform returns isotropic sparsity s.
+func Uniform(s int) Sparsity { return tensor.Uniform(s) }
+
+// SchedulerPolicy selects the task scheduling strategy.
+type SchedulerPolicy = sched.Policy
+
+// Scheduler policies. Priority is the paper's scheduler; the others are
+// the alternatives of Section X, provided for experimentation.
+const (
+	Priority     SchedulerPolicy = sched.PolicyPriority
+	FIFO         SchedulerPolicy = sched.PolicyFIFO
+	LIFO         SchedulerPolicy = sched.PolicyLIFO
+	WorkStealing SchedulerPolicy = sched.PolicySteal
+)
+
+// ConvMode selects how convolutions are computed.
+type ConvMode int
+
+// Convolution modes. Autotune picks per layer using the Table II cost
+// model; AutotuneMeasured times the primitives on this machine.
+const (
+	Autotune ConvMode = iota
+	AutotuneMeasured
+	ForceDirect
+	ForceFFT
+)
+
+// Config collects network construction and training options.
+type Config struct {
+	// Width is f, the number of nodes per hidden convolutional layer.
+	Width int
+	// OutWidth is the number of output images (default 1).
+	OutWidth int
+	// InWidth is the number of input images (default 1).
+	InWidth int
+	// Dims is 2 or 3 (default 3).
+	Dims int
+	// OutputPatch is the output extent per axis; the input extent is
+	// derived from the spec. Exactly one of OutputPatch/InputPatch.
+	OutputPatch int
+	// InputPatch sets the input extent directly.
+	InputPatch int
+	// Workers is the scheduler worker count (default 1).
+	Workers int
+	// Policy is the scheduling strategy (default Priority).
+	Policy SchedulerPolicy
+	// Conv selects the convolution mode (default Autotune).
+	Conv ConvMode
+	// Memoize enables FFT memoization (Section IV).
+	Memoize bool
+	// Loss is the training loss name: "squared", "bce", "softmax"
+	// (default "squared").
+	Loss string
+	// Eta is the learning rate (default 0.01).
+	Eta float64
+	// Momentum is the classical momentum coefficient.
+	Momentum float64
+	// Seed drives parameter initialization (default 0).
+	Seed int64
+	// SlidingWindow converts max-pooling layers to max-filtering with
+	// sparse convolution (Fig. 2), enabling dense output patches.
+	SlidingWindow bool
+	// DisableSpectral turns off node-level FFT-domain accumulation (by
+	// default, convergent FFT-convolution edges with identical geometry
+	// sum spectra and run one inverse transform per node).
+	DisableSpectral bool
+}
+
+func (c Config) tuner() *conv.Autotuner {
+	switch c.Conv {
+	case ForceDirect:
+		return &conv.Autotuner{Policy: conv.TuneForceDirect}
+	case ForceFFT:
+		return &conv.Autotuner{Policy: conv.TuneForceFFT}
+	case AutotuneMeasured:
+		return &conv.Autotuner{Policy: conv.TuneMeasure}
+	default:
+		return &conv.Autotuner{Policy: conv.TuneModel}
+	}
+}
+
+// Network is a trainable layered ConvNet.
+type Network struct {
+	spec net.Spec
+	nw   *net.Network
+	en   *train.Engine
+	cfg  Config
+}
+
+// NewNetwork parses the spec and builds a trainable network.
+func NewNetwork(spec string, cfg Config) (*Network, error) {
+	parsed, err := net.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SlidingWindow {
+		parsed = parsed.ToFiltering()
+	}
+	lossName := cfg.Loss
+	if lossName == "" {
+		lossName = "squared"
+	}
+	loss, err := ops.LossByName(lossName)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := net.Build(parsed, net.BuildOptions{
+		Width:        cfg.Width,
+		InWidth:      cfg.InWidth,
+		OutWidth:     cfg.OutWidth,
+		Dims:         cfg.Dims,
+		OutputExtent: cfg.OutputPatch,
+		InputExtent:  cfg.InputPatch,
+		Tuner:        cfg.tuner(),
+		Memoize:      cfg.Memoize,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	en, err := train.NewEngine(nw.G, train.Config{
+		Workers:         cfg.Workers,
+		Policy:          cfg.Policy,
+		Loss:            loss,
+		Eta:             cfg.Eta,
+		Momentum:        cfg.Momentum,
+		DisableSpectral: cfg.DisableSpectral,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Network{spec: parsed, nw: nw, en: en, cfg: cfg}, nil
+}
+
+// InputShape returns the shape training inputs must have.
+func (n *Network) InputShape() Shape { return n.nw.InputShape() }
+
+// OutputShape returns the shape of the network outputs.
+func (n *Network) OutputShape() Shape { return n.nw.OutputShape() }
+
+// NumParams returns the number of trainable scalars.
+func (n *Network) NumParams() int { return n.nw.NumParams() }
+
+// Spec returns the (possibly sliding-window-transformed) layer spec.
+func (n *Network) Spec() string { return n.spec.String() }
+
+// FieldOfView returns the input extent that influences one output voxel.
+func (n *Network) FieldOfView() int { return n.spec.FieldOfView() }
+
+// LayerMethods reports the autotuner's per-conv-layer choice ("direct" or
+// "fft").
+func (n *Network) LayerMethods() []string {
+	out := make([]string, len(n.nw.LayerMethods))
+	for i, m := range n.nw.LayerMethods {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// Train runs one gradient iteration on a single-input single-output
+// network and returns the loss.
+func (n *Network) Train(input, desired *Tensor) (float64, error) {
+	return n.en.Round([]*Tensor{input}, []*Tensor{desired})
+}
+
+// TrainMulti runs one gradient iteration with explicit input and desired
+// slices (for InWidth/OutWidth > 1).
+func (n *Network) TrainMulti(inputs, desired []*Tensor) (float64, error) {
+	return n.en.Round(inputs, desired)
+}
+
+// Infer runs a forward pass and returns the outputs.
+func (n *Network) Infer(inputs ...*Tensor) ([]*Tensor, error) {
+	return n.en.Forward(inputs)
+}
+
+// SetTraining toggles dropout between training and inference behaviour.
+func (n *Network) SetTraining(training bool) { n.en.SetTraining(training) }
+
+// Params returns a copy of the flattened parameter vector.
+func (n *Network) Params() []float64 { return n.nw.Params() }
+
+// SetParams installs a parameter vector from Params.
+func (n *Network) SetParams(p []float64) error { return n.nw.SetParams(p) }
+
+// Loss returns the most recent training loss.
+func (n *Network) Loss() float64 { return n.en.Loss() }
+
+// Stats reports scheduler counters (forced updates etc.).
+func (n *Network) Stats() sched.Stats { return n.en.SchedulerStats() }
+
+// Close applies pending weight updates and stops the workers.
+func (n *Network) Close() error { return n.en.Close() }
+
+// String summarizes the network.
+func (n *Network) String() string {
+	return fmt.Sprintf("znn.Network{%s width=%d in=%v out=%v params=%d}",
+		n.spec, n.cfg.Width, n.InputShape(), n.OutputShape(), n.NumParams())
+}
