@@ -13,6 +13,7 @@ import (
 
 	"znn/internal/baseline"
 	"znn/internal/conv"
+	"znn/internal/fft"
 	"znn/internal/graph"
 	"znn/internal/mempool"
 	"znn/internal/model"
@@ -346,6 +347,80 @@ func BenchmarkMemoizationOff(b *testing.B) { benchMemoization(b, false) }
 func BenchmarkMemoizationOn(b *testing.B)  { benchMemoization(b, true) }
 
 // --- FFT primitives -------------------------------------------------------
+
+// BenchmarkFFT3 vs BenchmarkFFT3R is the packed-pipeline A/B: one full
+// load→forward→inverse→store cycle of a real volume at a representative
+// transform shape (30³ is GoodShape of a 24³ image convolved with a 5³
+// kernel). The r2c/c2r path computes and stores only the (X/2+1)·Y·Z
+// Hermitian-packed coefficients.
+
+func BenchmarkFFT3(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	img := tensor.RandomUniform(rng, tensor.Cube(30), -1, 1)
+	m := img.S
+	p := fft.NewPlan3(m)
+	buf := make([]complex128, m.Volume())
+	out := tensor.New(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fft.LoadReal(buf, m, img)
+		p.Forward(buf)
+		p.Inverse(buf)
+		fft.StoreReal(out, buf, m, 0, 0, 0)
+	}
+}
+
+func BenchmarkFFT3R(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	img := tensor.RandomUniform(rng, tensor.Cube(30), -1, 1)
+	p := fft.NewPlan3R(img.S)
+	buf := make([]complex128, p.PackedLen())
+	out := tensor.New(img.S)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(buf, img)
+		p.Inverse(out, buf, 0, 0, 0)
+	}
+}
+
+// --- Spectral-mode training: packed vs full-complex spectra ---------------
+
+func benchSpectralRound(b *testing.B, policy conv.TunePolicy) {
+	nw, err := net.Build(net.MustParse("C5-Trelu-C5-Trelu"), net.BuildOptions{
+		Width: 4, OutWidth: 4, Dims: 2, OutputExtent: 16,
+		Tuner: &conv.Autotuner{Policy: policy}, Memoize: true, Seed: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	en, err := train.NewEngine(nw.G, train.Config{Workers: 2, Eta: 1e-6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer en.Close()
+	rng := rand.New(rand.NewSource(9))
+	in := []*tensor.Tensor{tensor.RandomUniform(rng, nw.InputShape(), -1, 1)}
+	des := make([]*tensor.Tensor, 4)
+	for i := range des {
+		des[i] = tensor.RandomUniform(rng, nw.OutputShape(), 0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cin := []*tensor.Tensor{in[0].Clone()}
+		cdes := make([]*tensor.Tensor, len(des))
+		for j, t := range des {
+			cdes[j] = t.Clone()
+		}
+		if _, err := en.Round(cin, cdes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpectralRoundPacked(b *testing.B) { benchSpectralRound(b, conv.TuneForceFFT) }
+func BenchmarkSpectralRoundC2C(b *testing.B)    { benchSpectralRound(b, conv.TuneForceFFTC2C) }
 
 func BenchmarkFFTConvValid(b *testing.B) {
 	rng := rand.New(rand.NewSource(10))

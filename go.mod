@@ -1,0 +1,3 @@
+module znn
+
+go 1.22

@@ -24,8 +24,11 @@ const (
 	TuneMeasure
 	// TuneForceDirect always chooses direct convolution.
 	TuneForceDirect
-	// TuneForceFFT always chooses FFT convolution.
+	// TuneForceFFT always chooses FFT convolution (packed r2c spectra).
 	TuneForceFFT
+	// TuneForceFFTC2C always chooses the legacy full-complex FFT path,
+	// kept for packed-vs-full A/B benchmarking.
+	TuneForceFFTC2C
 )
 
 func (p TunePolicy) String() string {
@@ -38,6 +41,8 @@ func (p TunePolicy) String() string {
 		return "force-direct"
 	case TuneForceFFT:
 		return "force-fft"
+	case TuneForceFFTC2C:
+		return "force-fft-c2c"
 	default:
 		return "unknown"
 	}
@@ -69,6 +74,8 @@ func (a *Autotuner) Choose(g LayerGeom) Method {
 		return Direct
 	case TuneForceFFT:
 		return FFT
+	case TuneForceFFTC2C:
+		return FFTC2C
 	}
 	a.mu.Lock()
 	if m, ok := a.cache[g]; ok {
@@ -93,15 +100,19 @@ func (a *Autotuner) Choose(g LayerGeom) Method {
 
 // modelChoice applies the Table II totals: direct costs 3·f′·f·n′³·k³
 // multiply-adds per round; memoized FFT costs
-// 6Cn³log n³·[f′+f+f′·f] + 12·f′·f·n³.
+// 6Ch·log₂(n³)·[f′+f+f′·f] + 12·f′·f·h, where h = (X/2+1)·Y·Z is the
+// Hermitian-packed coefficient count — real-input transforms and packed
+// pointwise products do roughly half the work the paper's full-complex
+// formula (h = n³) charges, which shifts the crossover toward FFT.
 func modelChoice(g LayerGeom) Method {
 	out := g.In.ValidConv(g.Kernel, g.Sp)
 	f, fp := float64(g.F), float64(g.FPrime)
 	direct := 3 * fp * f * float64(out.Volume()) * float64(g.Kernel.Volume())
 	m := transformShape(g.In, g.Kernel, g.Sp)
 	nv := float64(m.Volume())
-	fftCost := 6*FFTConstant*nv*math.Log2(math.Max(nv, 2))*(fp+f+fp*f) +
-		12*fp*f*nv
+	hv := float64(fft.PackedVolume(m))
+	fftCost := 6*FFTConstant*hv*math.Log2(math.Max(nv, 2))*(fp+f+fp*f) +
+		12*fp*f*hv
 	if direct <= fftCost {
 		return Direct
 	}
@@ -113,35 +124,40 @@ func modelChoice(g LayerGeom) Method {
 // mirror the implementation: per round the FFT path performs (f+f′) shared
 // image transforms plus, per edge, one kernel transform, three pointwise
 // products, three inverse transforms and two spectrum reflections; the
-// direct path performs three direct convolutions per edge.
+// direct path performs three direct convolutions per edge. The FFT
+// primitives timed are the packed r2c ones, since Method FFT is what the
+// tuner would select.
 func measureChoice(g LayerGeom) Method {
 	rng := rand.New(rand.NewSource(12345))
 	img := tensor.RandomUniform(rng, g.In, -1, 1)
 	ker := tensor.RandomUniform(rng, g.Kernel, -1, 1)
 	m := transformShape(g.In, g.Kernel, g.Sp)
-	plan := fft.NewPlan3(m)
-	vol := m.Volume()
+	plan := fft.NewPlan3R(m)
+	pv := plan.PackedLen()
+	outShape := g.In.ValidConv(g.Kernel, g.Sp)
 
 	tDirect := timeOp(func() {
-		out := tensor.New(g.In.ValidConv(g.Kernel, g.Sp))
+		out := tensor.New(outShape)
 		ValidDirectInto(out, img, ker, g.Sp)
 	})
 
-	buf := mempool.Spectra.Get(vol)
-	fft.LoadReal(buf, m, img)
+	buf := mempool.Spectra.Get(pv)
 	tFFT := timeOp(func() {
-		fft.LoadReal(buf, m, img)
-		plan.Forward(buf)
+		plan.Forward(buf, img)
 	})
 	spec := append([]complex128(nil), buf...)
+	out := tensor.New(outShape)
+	ox := g.Sp.X * (g.Kernel.X - 1)
+	oy := g.Sp.Y * (g.Kernel.Y - 1)
+	oz := g.Sp.Z * (g.Kernel.Z - 1)
 	tInv := timeOp(func() {
 		copy(buf, spec)
-		plan.Inverse(buf)
+		plan.Inverse(out, buf, ox, oy, oz)
 	})
-	other := mempool.Spectra.Get(vol)
+	other := mempool.Spectra.Get(pv)
 	copy(other, spec)
 	tMul := timeOp(func() { fft.MulInto(buf, spec, other) })
-	tRefl := timeOp(func() { reflectSpectrumInto(buf, spec, m, g.In) })
+	tRefl := timeOp(func() { reflectSpectrumPackedInto(buf, spec, m, g.In) })
 	mempool.Spectra.Put(buf)
 	mempool.Spectra.Put(other)
 

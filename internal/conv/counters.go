@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"znn/internal/fft"
 	"znn/internal/tensor"
 )
 
@@ -12,10 +13,11 @@ import (
 // A nil *Counters is valid and counts nothing, so instrumentation can stay
 // in place on hot paths.
 type Counters struct {
-	FFTs        atomic.Int64 // number of forward 3D transforms
+	FFTs        atomic.Int64 // number of forward 3D transforms (packed or full)
+	PackedFFTs  atomic.Int64 // forward + inverse transforms that ran r2c/c2r packed
 	InverseFFTs atomic.Int64 // number of inverse 3D transforms
-	FFTFlops    atomic.Int64 // Σ over transforms of C·N·log2(N), C = FFTConstant
-	MulVolume   atomic.Int64 // voxels of pointwise complex multiply-accumulate
+	FFTFlops    atomic.Int64 // Σ over transforms of C·W·log2(N); W = N full, (X/2+1)·Y·Z packed
+	MulVolume   atomic.Int64 // coefficients of pointwise complex multiply-accumulate
 	ReflectOps  atomic.Int64 // spectrum-reflection passes (phase trick, no FFT)
 	DirectFlops atomic.Int64 // multiply-add pairs of direct convolution
 }
@@ -24,35 +26,53 @@ type Counters struct {
 // (the paper's Fig. 4 assumes C = 5).
 const FFTConstant = 5
 
-func fftFlops(m tensor.Shape) int64 {
+// fftFlops returns the modeled cost of one 3D transform at shape m:
+// C·N·log2(N) for a full complex transform, with N replaced by the packed
+// coefficient count (X/2+1)·Y·Z when the transform exploits real-input
+// symmetry — the ~2× saving that motivates the r2c path.
+func fftFlops(m tensor.Shape, packed bool) int64 {
 	n := float64(m.Volume())
 	if n <= 1 {
 		return 0
 	}
-	return int64(FFTConstant * n * math.Log2(n))
+	work := n
+	if packed {
+		work = float64(fft.PackedVolume(m))
+	}
+	return int64(FFTConstant * work * math.Log2(n))
 }
 
-func (c *Counters) addFFT(m tensor.Shape) {
+func (c *Counters) addFFT(m tensor.Shape, packed bool) {
 	if c == nil {
 		return
 	}
 	c.FFTs.Add(1)
-	c.FFTFlops.Add(fftFlops(m))
+	if packed {
+		c.PackedFFTs.Add(1)
+	}
+	c.FFTFlops.Add(fftFlops(m, packed))
 }
 
-func (c *Counters) addInverse(m tensor.Shape) {
+func (c *Counters) addInverse(m tensor.Shape, packed bool) {
 	if c == nil {
 		return
 	}
 	c.InverseFFTs.Add(1)
-	c.FFTFlops.Add(fftFlops(m))
+	if packed {
+		c.PackedFFTs.Add(1)
+	}
+	c.FFTFlops.Add(fftFlops(m, packed))
 }
 
-func (c *Counters) addMul(m tensor.Shape) {
+func (c *Counters) addMul(m tensor.Shape, packed bool) {
 	if c == nil {
 		return
 	}
-	c.MulVolume.Add(int64(m.Volume()))
+	if packed {
+		c.MulVolume.Add(int64(fft.PackedVolume(m)))
+	} else {
+		c.MulVolume.Add(int64(m.Volume()))
+	}
 }
 
 func (c *Counters) addReflect(m tensor.Shape) {
@@ -72,6 +92,7 @@ func (c *Counters) addDirect(flops int64) {
 // Snapshot is a plain-value copy of the counters.
 type Snapshot struct {
 	FFTs        int64
+	PackedFFTs  int64
 	InverseFFTs int64
 	FFTFlops    int64
 	MulVolume   int64
@@ -86,6 +107,7 @@ func (c *Counters) Snapshot() Snapshot {
 	}
 	return Snapshot{
 		FFTs:        c.FFTs.Load(),
+		PackedFFTs:  c.PackedFFTs.Load(),
 		InverseFFTs: c.InverseFFTs.Load(),
 		FFTFlops:    c.FFTFlops.Load(),
 		MulVolume:   c.MulVolume.Load(),
@@ -99,6 +121,7 @@ func (c *Counters) Snapshot() Snapshot {
 func (s Snapshot) Sub(t Snapshot) Snapshot {
 	return Snapshot{
 		FFTs:        s.FFTs - t.FFTs,
+		PackedFFTs:  s.PackedFFTs - t.PackedFFTs,
 		InverseFFTs: s.InverseFFTs - t.InverseFFTs,
 		FFTFlops:    s.FFTFlops - t.FFTFlops,
 		MulVolume:   s.MulVolume - t.MulVolume,
@@ -113,6 +136,7 @@ func (c *Counters) Reset() {
 		return
 	}
 	c.FFTs.Store(0)
+	c.PackedFFTs.Store(0)
 	c.InverseFFTs.Store(0)
 	c.FFTFlops.Store(0)
 	c.MulVolume.Store(0)

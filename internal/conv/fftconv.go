@@ -2,6 +2,7 @@ package conv
 
 import (
 	"fmt"
+	"sync"
 
 	"znn/internal/fft"
 	"znn/internal/mempool"
@@ -21,20 +22,20 @@ func transformShape(n, k tensor.Shape, sp tensor.Sparsity) tensor.Shape {
 	return fft.GoodShape(n.FullConv(k, sp))
 }
 
-// fftOf loads t into a pooled complex buffer of shape m and transforms it
-// in place, returning the spectrum. Callers release the buffer with
+// fftOf loads t into a pooled Hermitian-packed buffer for transform shape m
+// and computes its packed spectrum. Callers release the buffer with
 // mempool.Spectra.Put.
 func fftOf(t *tensor.Tensor, m tensor.Shape, c *Counters) []complex128 {
-	buf := mempool.Spectra.Get(m.Volume())
-	fft.LoadReal(buf, m, t)
-	fft.NewPlan3(m).Forward(buf)
-	c.addFFT(m)
+	buf := mempool.Spectra.Get(fft.PackedVolume(m))
+	fft.NewPlan3R(m).Forward(buf, t)
+	c.addFFT(m, true)
 	return buf
 }
 
-// ValidFFT computes the valid sparse convolution via the FFT: pad both
-// operands (kernel dilated) to the transform shape, multiply pointwise,
-// invert, and crop the valid region at offset s(k−1).
+// ValidFFT computes the valid sparse convolution via packed real FFTs: both
+// operands (kernel dilated) transform to Hermitian-packed spectra at the
+// transform shape, multiply pointwise, invert, and crop the valid region at
+// offset s(k−1).
 func ValidFFT(img, ker *tensor.Tensor, sp tensor.Sparsity) *tensor.Tensor {
 	checkConvArgs(img, ker, sp)
 	os := img.S.ValidConv(ker.S, sp)
@@ -47,14 +48,13 @@ func ValidFFT(img, ker *tensor.Tensor, sp tensor.Sparsity) *tensor.Tensor {
 	kerF := fftOf(ker.Dilate(sp), m, nil)
 	fft.MulInto(imgF, imgF, kerF)
 	mempool.Spectra.Put(kerF)
-	fft.NewPlan3(m).Inverse(imgF)
 	out := tensor.New(os)
-	fft.StoreReal(out, imgF, m, sp.X*(ker.S.X-1), sp.Y*(ker.S.Y-1), sp.Z*(ker.S.Z-1))
+	fft.NewPlan3R(m).Inverse(out, imgF, sp.X*(ker.S.X-1), sp.Y*(ker.S.Y-1), sp.Z*(ker.S.Z-1))
 	mempool.Spectra.Put(imgF)
 	return out
 }
 
-// FullFFT computes the full sparse convolution via the FFT.
+// FullFFT computes the full sparse convolution via packed real FFTs.
 func FullFFT(img, ker *tensor.Tensor, sp tensor.Sparsity) *tensor.Tensor {
 	checkConvArgs(img, ker, sp)
 	os := img.S.FullConv(ker.S, sp)
@@ -63,9 +63,8 @@ func FullFFT(img, ker *tensor.Tensor, sp tensor.Sparsity) *tensor.Tensor {
 	kerF := fftOf(ker.Dilate(sp), m, nil)
 	fft.MulInto(imgF, imgF, kerF)
 	mempool.Spectra.Put(kerF)
-	fft.NewPlan3(m).Inverse(imgF)
 	out := tensor.New(os)
-	fft.StoreReal(out, imgF, m, 0, 0, 0)
+	fft.NewPlan3R(m).Inverse(out, imgF, 0, 0, 0)
 	mempool.Spectra.Put(imgF)
 	return out
 }
@@ -96,13 +95,55 @@ func reflectSpectrumInto(dst, src []complex128, m, support tensor.Shape) {
 	}
 }
 
+// reflectSpectrumPackedInto is reflectSpectrumInto on Hermitian-packed
+// spectra of logical transform shape m. The identity is pointwise at each
+// frequency, so it applies verbatim over the packed index range
+// kx = 0 .. X/2 — and the result stays Hermitian because the reflected
+// signal is again real.
+func reflectSpectrumPackedInto(dst, src []complex128, m, support tensor.Shape) {
+	ps := fft.PackedShape(m)
+	if len(dst) != ps.Volume() || len(src) != ps.Volume() {
+		panic("conv: reflectSpectrumPacked buffer size mismatch")
+	}
+	px := phaseTable(m.X, support.X)
+	py := phaseTable(m.Y, support.Y)
+	pz := phaseTable(m.Z, support.Z)
+	i := 0
+	for z := 0; z < ps.Z; z++ {
+		for y := 0; y < ps.Y; y++ {
+			pyz := py[y] * pz[z]
+			for x := 0; x < ps.X; x++ {
+				v := src[i]
+				dst[i] = complex(real(v), -imag(v)) * (px[x] * pyz)
+				i++
+			}
+		}
+	}
+}
+
+var (
+	phaseMu    sync.Mutex
+	phaseCache = map[[2]int][]complex128{}
+)
+
 // phaseTable returns ω_M^{(K−1)·m} for m = 0..M−1 where ω_M = e^{−2πi/M}.
+// Tables are cached by (M, (K−1) mod M): the reflection passes run on every
+// backward and update phase, so rebuilding the table (and taking the
+// Twiddle lock) per call showed up as per-round allocation churn. Callers
+// must not modify the returned slice.
 func phaseTable(m, k int) []complex128 {
+	shift := (k - 1) % m
+	key := [2]int{m, shift}
+	phaseMu.Lock()
+	defer phaseMu.Unlock()
+	if tab, ok := phaseCache[key]; ok {
+		return tab
+	}
 	tab := make([]complex128, m)
 	w := fft.Twiddle(m)
-	shift := (k - 1) % m
 	for i := 0; i < m; i++ {
 		tab[i] = w[(i*shift)%m]
 	}
+	phaseCache[key] = tab
 	return tab
 }

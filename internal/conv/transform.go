@@ -9,10 +9,20 @@ import (
 	"znn/internal/tensor"
 )
 
+// spectrumKey identifies a cached spectrum: Hermitian-packed and full
+// complex spectra of the same transform shape have different layouts (and
+// lengths), so a node feeding both packed-FFT and c2c-FFT edges keeps one
+// entry per combination.
+type spectrumKey struct {
+	m      tensor.Shape
+	packed bool
+}
+
 // SpectrumCache shares the forward FFT of one node's image among all edges
 // that consume it ("the FFT of an image at a node can be shared by edges at
-// that node", Section IV). The cache is keyed by transform shape so a node
-// feeding layers with different kernel sizes keeps one spectrum per shape.
+// that node", Section IV). The cache is keyed by transform shape and
+// packedness so a node feeding layers with different kernel sizes keeps one
+// spectrum per shape.
 //
 // Cached buffers are garbage-collected rather than pooled: memoizing edges
 // retain references across the round boundary (the update task may run
@@ -21,7 +31,7 @@ import (
 type SpectrumCache struct {
 	mu      sync.Mutex
 	img     *tensor.Tensor
-	entries map[tensor.Shape][]complex128
+	entries map[spectrumKey][]complex128
 }
 
 // Reset points the cache at a new image, discarding cached spectra.
@@ -32,26 +42,34 @@ func (sc *SpectrumCache) Reset(img *tensor.Tensor) {
 	sc.entries = nil
 }
 
-// Get returns the spectrum of the cached image at transform shape m,
-// computing it on first use. The returned buffer is shared and must be
-// treated as immutable.
-func (sc *SpectrumCache) Get(m tensor.Shape, c *Counters) []complex128 {
+// Get returns the spectrum of the cached image at transform shape m —
+// Hermitian-packed when packed is true, full complex otherwise — computing
+// it on first use. The returned buffer is shared and must be treated as
+// immutable.
+func (sc *SpectrumCache) Get(m tensor.Shape, packed bool, c *Counters) []complex128 {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if sc.img == nil {
 		panic("conv: SpectrumCache.Get before Reset")
 	}
-	if buf, ok := sc.entries[m]; ok {
+	key := spectrumKey{m: m, packed: packed}
+	if buf, ok := sc.entries[key]; ok {
 		return buf
 	}
-	buf := make([]complex128, m.Volume())
-	fft.LoadReal(buf, m, sc.img)
-	fft.NewPlan3(m).Forward(buf)
-	c.addFFT(m)
-	if sc.entries == nil {
-		sc.entries = map[tensor.Shape][]complex128{}
+	var buf []complex128
+	if packed {
+		buf = make([]complex128, fft.PackedVolume(m))
+		fft.NewPlan3R(m).Forward(buf, sc.img)
+	} else {
+		buf = make([]complex128, m.Volume())
+		fft.LoadReal(buf, m, sc.img)
+		fft.NewPlan3(m).Forward(buf)
 	}
-	sc.entries[m] = buf
+	c.addFFT(m, packed)
+	if sc.entries == nil {
+		sc.entries = map[spectrumKey][]complex128{}
+	}
+	sc.entries[key] = buf
 	return buf
 }
 
@@ -61,8 +79,15 @@ type Method int
 const (
 	// Direct computes convolutions in the spatial domain.
 	Direct Method = iota
-	// FFT computes convolutions in the frequency domain.
+	// FFT computes convolutions in the frequency domain using real-input
+	// (r2c/c2r) transforms with Hermitian-packed spectra — the default
+	// spectral path.
 	FFT
+	// FFTC2C computes frequency-domain convolutions with full complex
+	// transforms over all X·Y·Z points. It is the pre-packing code path,
+	// kept selectable (TuneForceFFTC2C) so packed-vs-full A/B benchmarks
+	// run against live code rather than an old commit.
+	FFTC2C
 )
 
 func (m Method) String() string {
@@ -71,10 +96,16 @@ func (m Method) String() string {
 		return "direct"
 	case FFT:
 		return "fft"
+	case FFTC2C:
+		return "fft-c2c"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
 }
+
+// IsFFT reports whether the method computes in the frequency domain
+// (packed or full-complex).
+func (m Method) IsFFT() bool { return m == FFT || m == FFTC2C }
 
 // Transformer executes the three convolution phases of one edge — forward,
 // backward, kernel gradient — with a fixed method, and implements FFT
@@ -87,14 +118,18 @@ func (m Method) String() string {
 // without extra synchronization beyond the internal mutex: an edge's update
 // always executes before the edge's next forward pass overwrites the slots.
 type Transformer struct {
-	in  tensor.Shape    // input image shape n
-	k   tensor.Shape    // kernel shape
-	out tensor.Shape    // valid output shape n − s(k−1)
-	sp  tensor.Sparsity // sparsity s
-	m   tensor.Shape    // common transform shape
-	mth Method
-	mem bool
-	cnt *Counters
+	in     tensor.Shape    // input image shape n
+	k      tensor.Shape    // kernel shape
+	out    tensor.Shape    // valid output shape n − s(k−1)
+	sp     tensor.Sparsity // sparsity s
+	m      tensor.Shape    // common transform shape
+	mth    Method
+	mem    bool
+	cnt    *Counters
+	packed bool        // spectra are Hermitian-packed (Method FFT)
+	sv     int         // spectrum buffer length (packed or full volume)
+	p3     *fft.Plan3  // full-complex plan (Method FFTC2C)
+	p3r    *fft.Plan3R // packed real plan (Method FFT)
 
 	mu       sync.Mutex
 	kerF     []complex128 // spectrum of the dilated kernel
@@ -110,7 +145,7 @@ func NewTransformer(in, k tensor.Shape, sp tensor.Sparsity, method Method, memoi
 	if !out.Valid() {
 		panic(fmt.Sprintf("conv: kernel %v (sparsity %v) does not fit in image %v", k, sp, in))
 	}
-	return &Transformer{
+	t := &Transformer{
 		in:  in,
 		k:   k,
 		out: out,
@@ -120,6 +155,19 @@ func NewTransformer(in, k tensor.Shape, sp tensor.Sparsity, method Method, memoi
 		mem: memoize,
 		cnt: counters,
 	}
+	switch method {
+	case Direct:
+	case FFT:
+		t.packed = true
+		t.p3r = fft.NewPlan3R(t.m)
+		t.sv = t.p3r.PackedLen()
+	case FFTC2C:
+		t.p3 = fft.NewPlan3(t.m)
+		t.sv = t.m.Volume()
+	default:
+		panic(fmt.Sprintf("conv: unknown method %v", method))
+	}
+	return t
 }
 
 // Method returns the convolution method in use.
@@ -131,8 +179,52 @@ func (t *Transformer) OutShape() tensor.Shape { return t.out }
 // InShape returns the forward input shape.
 func (t *Transformer) InShape() tensor.Shape { return t.in }
 
-// TransformShape returns the common FFT shape (meaningful for Method FFT).
+// TransformShape returns the common FFT shape (meaningful for FFT methods).
 func (t *Transformer) TransformShape() tensor.Shape { return t.m }
+
+// specInto computes the forward spectrum of src into buf (length t.sv) at
+// the transform shape, packed or full according to the method.
+func (t *Transformer) specInto(buf []complex128, src *tensor.Tensor) {
+	if t.packed {
+		t.p3r.Forward(buf, src)
+	} else {
+		fft.LoadReal(buf, t.m, src)
+		t.p3.Forward(buf)
+	}
+	t.cnt.addFFT(t.m, t.packed)
+}
+
+// newSpec allocates a GC-managed spectrum buffer (memo slots and kernel
+// spectra live across round boundaries, so they bypass the pool — see
+// SpectrumCache) and fills it with the forward spectrum of src.
+func (t *Transformer) newSpec(src *tensor.Tensor) []complex128 {
+	buf := make([]complex128, t.sv)
+	t.specInto(buf, src)
+	return buf
+}
+
+// inverseStore inverts spec (consuming the buffer) and stores the
+// sub-volume at (ox,oy,oz) into out, with the 1/N normalization.
+func (t *Transformer) inverseStore(out *tensor.Tensor, spec []complex128, ox, oy, oz int) {
+	if t.packed {
+		t.p3r.Inverse(out, spec, ox, oy, oz)
+	} else {
+		t.p3.Inverse(spec)
+		fft.StoreReal(out, spec, t.m, ox, oy, oz)
+	}
+	t.cnt.addInverse(t.m, t.packed)
+}
+
+// reflectInto applies the conjugate-reflection phase pass for a signal of
+// the given support, in the method's spectrum layout.
+func (t *Transformer) reflectInto(dst, src []complex128, support tensor.Shape) {
+	if t.packed {
+		reflectSpectrumPackedInto(dst, src, t.m, support)
+	} else {
+		reflectSpectrumInto(dst, src, t.m, support)
+	}
+	t.cnt.addReflect(t.m)
+}
 
 // kernelSpectra returns the (possibly cached) spectra of the dilated kernel
 // and its reflection, computing them if the update invalidated them.
@@ -141,13 +233,9 @@ func (t *Transformer) kernelSpectra(ker *tensor.Tensor) (kf, kfr []complex128) {
 	defer t.mu.Unlock()
 	if t.kerF == nil {
 		d := ker.Dilate(t.sp)
-		t.kerF = make([]complex128, t.m.Volume())
-		fft.LoadReal(t.kerF, t.m, d)
-		fft.NewPlan3(t.m).Forward(t.kerF)
-		t.cnt.addFFT(t.m)
-		t.kerFRefl = make([]complex128, t.m.Volume())
-		reflectSpectrumInto(t.kerFRefl, t.kerF, t.m, d.S)
-		t.cnt.addReflect(t.m)
+		t.kerF = t.newSpec(d)
+		t.kerFRefl = make([]complex128, t.sv)
+		t.reflectInto(t.kerFRefl, t.kerF, d.S)
 	}
 	return t.kerF, t.kerFRefl
 }
@@ -178,22 +266,16 @@ func (t *Transformer) Forward(img, ker *tensor.Tensor, sc *SpectrumCache) *tenso
 	}
 	var imgF []complex128
 	if sc != nil {
-		imgF = sc.Get(t.m, t.cnt)
+		imgF = sc.Get(t.m, t.packed, t.cnt)
 	} else {
-		imgF = make([]complex128, t.m.Volume())
-		fft.LoadReal(imgF, t.m, img)
-		fft.NewPlan3(t.m).Forward(imgF)
-		t.cnt.addFFT(t.m)
+		imgF = t.newSpec(img)
 	}
 	kf, _ := t.kernelSpectra(ker)
-	prod := mempool.Spectra.Get(t.m.Volume())
+	prod := mempool.Spectra.Get(t.sv)
 	fft.MulInto(prod, imgF, kf)
-	t.cnt.addMul(t.m)
-	fft.NewPlan3(t.m).Inverse(prod)
-	t.cnt.addInverse(t.m)
+	t.cnt.addMul(t.m, t.packed)
 	out := tensor.New(t.out)
-	fft.StoreReal(out, prod, t.m,
-		t.sp.X*(t.k.X-1), t.sp.Y*(t.k.Y-1), t.sp.Z*(t.k.Z-1))
+	t.inverseStore(out, prod, t.sp.X*(t.k.X-1), t.sp.Y*(t.k.Y-1), t.sp.Z*(t.k.Z-1))
 	mempool.Spectra.Put(prod)
 	if t.mem {
 		t.mu.Lock()
@@ -219,21 +301,16 @@ func (t *Transformer) Backward(bwd, ker *tensor.Tensor, sc *SpectrumCache) *tens
 	}
 	var bwdF []complex128
 	if sc != nil {
-		bwdF = sc.Get(t.m, t.cnt)
+		bwdF = sc.Get(t.m, t.packed, t.cnt)
 	} else {
-		bwdF = make([]complex128, t.m.Volume())
-		fft.LoadReal(bwdF, t.m, bwd)
-		fft.NewPlan3(t.m).Forward(bwdF)
-		t.cnt.addFFT(t.m)
+		bwdF = t.newSpec(bwd)
 	}
 	_, kfr := t.kernelSpectra(ker)
-	prod := mempool.Spectra.Get(t.m.Volume())
+	prod := mempool.Spectra.Get(t.sv)
 	fft.MulInto(prod, bwdF, kfr)
-	t.cnt.addMul(t.m)
-	fft.NewPlan3(t.m).Inverse(prod)
-	t.cnt.addInverse(t.m)
+	t.cnt.addMul(t.m, t.packed)
 	out := tensor.New(t.in)
-	fft.StoreReal(out, prod, t.m, 0, 0, 0)
+	t.inverseStore(out, prod, 0, 0, 0)
 	mempool.Spectra.Put(prod)
 	if t.mem {
 		t.mu.Lock()
@@ -264,32 +341,23 @@ func (t *Transformer) KernelGrad(img, bwd *tensor.Tensor) *tensor.Tensor {
 	t.imgF, t.bwdF = nil, nil
 	t.mu.Unlock()
 	if imgF == nil {
-		imgF = make([]complex128, t.m.Volume())
-		fft.LoadReal(imgF, t.m, img)
-		fft.NewPlan3(t.m).Forward(imgF)
-		t.cnt.addFFT(t.m)
+		imgF = t.newSpec(img)
 	}
 	if bwdF == nil {
-		bwdF = make([]complex128, t.m.Volume())
-		fft.LoadReal(bwdF, t.m, bwd)
-		fft.NewPlan3(t.m).Forward(bwdF)
-		t.cnt.addFFT(t.m)
+		bwdF = t.newSpec(bwd)
 	}
 	// F(reflect(img)) from the memoized F(img) via the phase trick.
-	prod := mempool.Spectra.Get(t.m.Volume())
-	reflectSpectrumInto(prod, imgF, t.m, t.in)
-	t.cnt.addReflect(t.m)
+	prod := mempool.Spectra.Get(t.sv)
+	t.reflectInto(prod, imgF, t.in)
 	fft.MulInto(prod, prod, bwdF)
-	t.cnt.addMul(t.m)
-	fft.NewPlan3(t.m).Inverse(prod)
-	t.cnt.addInverse(t.m)
+	t.cnt.addMul(t.m, t.packed)
 	// Full-convolution values at offsets (n′−1) + s·a, a = 0..k−1.
 	full := tensor.New(tensor.Shape{
 		X: t.sp.X*(t.k.X-1) + 1,
 		Y: t.sp.Y*(t.k.Y-1) + 1,
 		Z: t.sp.Z*(t.k.Z-1) + 1,
 	})
-	fft.StoreReal(full, prod, t.m, t.out.X-1, t.out.Y-1, t.out.Z-1)
+	t.inverseStore(full, prod, t.out.X-1, t.out.Y-1, t.out.Z-1)
 	mempool.Spectra.Put(prod)
 	return full.Subsample(0, 0, 0, t.sp, t.k)
 }
@@ -304,18 +372,19 @@ func (t *Transformer) HasMemoizedSpectra() bool {
 
 // --- Spectral accumulation (node-level FFT-domain summation) -------------
 //
-// When every edge converging on a node uses the FFT method with the same
-// transform shape, kernel shape and sparsity, the node can sum the edges'
-// FFT-domain products and run a single inverse transform: the execution
-// model the paper's Table II costs assume (f′ inverse transforms per layer
-// forward pass instead of f′·f). The four methods below compute the
-// per-edge products and the per-node finishers.
+// When every edge converging on a node uses the same FFT method with the
+// same transform shape, kernel shape and sparsity, the node can sum the
+// edges' FFT-domain products and run a single inverse transform: the
+// execution model the paper's Table II costs assume (f′ inverse transforms
+// per layer forward pass instead of f′·f). The four methods below compute
+// the per-edge products and the per-node finishers.
 
 // SpectralCompatible reports whether two transformers may share a node's
-// spectral sum: same method (FFT), transform shape, kernel shape and
-// sparsity (the crop offsets must agree).
+// spectral sum: same FFT method (so the buffers have the same layout and
+// length), transform shape, kernel shape and sparsity (the crop offsets
+// must agree).
 func (t *Transformer) SpectralCompatible(o *Transformer) bool {
-	return t.mth == FFT && o.mth == FFT &&
+	return t.mth.IsFFT() && t.mth == o.mth &&
 		t.m == o.m && t.k == o.k && t.sp == o.sp && t.out == o.out && t.in == o.in
 }
 
@@ -324,7 +393,7 @@ func (t *Transformer) SpectralCompatible(o *Transformer) bool {
 // typically a wsum.ComplexSum). Memoization records the image spectrum
 // exactly as Forward does.
 func (t *Transformer) ForwardProduct(img, ker *tensor.Tensor, sc *SpectrumCache) []complex128 {
-	if t.mth != FFT {
+	if !t.mth.IsFFT() {
 		panic("conv: ForwardProduct on a direct-method transformer")
 	}
 	if img.S != t.in {
@@ -332,17 +401,14 @@ func (t *Transformer) ForwardProduct(img, ker *tensor.Tensor, sc *SpectrumCache)
 	}
 	var imgF []complex128
 	if sc != nil {
-		imgF = sc.Get(t.m, t.cnt)
+		imgF = sc.Get(t.m, t.packed, t.cnt)
 	} else {
-		imgF = make([]complex128, t.m.Volume())
-		fft.LoadReal(imgF, t.m, img)
-		fft.NewPlan3(t.m).Forward(imgF)
-		t.cnt.addFFT(t.m)
+		imgF = t.newSpec(img)
 	}
 	kf, _ := t.kernelSpectra(ker)
-	prod := mempool.Spectra.Get(t.m.Volume())
+	prod := mempool.Spectra.Get(t.sv)
 	fft.MulInto(prod, imgF, kf)
-	t.cnt.addMul(t.m)
+	t.cnt.addMul(t.m, t.packed)
 	if t.mem {
 		t.mu.Lock()
 		t.imgF = imgF
@@ -354,10 +420,8 @@ func (t *Transformer) ForwardProduct(img, ker *tensor.Tensor, sc *SpectrumCache)
 // FinishForward inverts an accumulated forward spectrum, crops the valid
 // region, and releases the buffer to the pool.
 func (t *Transformer) FinishForward(spec []complex128) *tensor.Tensor {
-	fft.NewPlan3(t.m).Inverse(spec)
-	t.cnt.addInverse(t.m)
 	out := tensor.New(t.out)
-	fft.StoreReal(out, spec, t.m,
+	t.inverseStore(out, spec,
 		t.sp.X*(t.k.X-1), t.sp.Y*(t.k.Y-1), t.sp.Z*(t.k.Z-1))
 	mempool.Spectra.Put(spec)
 	return out
@@ -366,7 +430,7 @@ func (t *Transformer) FinishForward(spec []complex128) *tensor.Tensor {
 // BackwardProduct computes the edge's FFT-domain backward product
 // F(bwd)·F(reflected kernel) into a pooled buffer.
 func (t *Transformer) BackwardProduct(bwd, ker *tensor.Tensor, sc *SpectrumCache) []complex128 {
-	if t.mth != FFT {
+	if !t.mth.IsFFT() {
 		panic("conv: BackwardProduct on a direct-method transformer")
 	}
 	if bwd.S != t.out {
@@ -374,17 +438,14 @@ func (t *Transformer) BackwardProduct(bwd, ker *tensor.Tensor, sc *SpectrumCache
 	}
 	var bwdF []complex128
 	if sc != nil {
-		bwdF = sc.Get(t.m, t.cnt)
+		bwdF = sc.Get(t.m, t.packed, t.cnt)
 	} else {
-		bwdF = make([]complex128, t.m.Volume())
-		fft.LoadReal(bwdF, t.m, bwd)
-		fft.NewPlan3(t.m).Forward(bwdF)
-		t.cnt.addFFT(t.m)
+		bwdF = t.newSpec(bwd)
 	}
 	_, kfr := t.kernelSpectra(ker)
-	prod := mempool.Spectra.Get(t.m.Volume())
+	prod := mempool.Spectra.Get(t.sv)
 	fft.MulInto(prod, bwdF, kfr)
-	t.cnt.addMul(t.m)
+	t.cnt.addMul(t.m, t.packed)
 	if t.mem {
 		t.mu.Lock()
 		t.bwdF = bwdF
@@ -396,10 +457,8 @@ func (t *Transformer) BackwardProduct(bwd, ker *tensor.Tensor, sc *SpectrumCache
 // FinishBackward inverts an accumulated backward spectrum, crops the full
 // region (the input shape), and releases the buffer.
 func (t *Transformer) FinishBackward(spec []complex128) *tensor.Tensor {
-	fft.NewPlan3(t.m).Inverse(spec)
-	t.cnt.addInverse(t.m)
 	out := tensor.New(t.in)
-	fft.StoreReal(out, spec, t.m, 0, 0, 0)
+	t.inverseStore(out, spec, 0, 0, 0)
 	mempool.Spectra.Put(spec)
 	return out
 }

@@ -6,8 +6,27 @@
 //
 //   - iterative-free recursive mixed-radix Cooley-Tukey for lengths whose
 //     prime factors are all ≤ 5 (the sizes GoodSize produces),
-//   - Bluestein's chirp-z algorithm for arbitrary lengths, and
-//   - separable 3D transforms built from cached 1D plans.
+//   - Bluestein's chirp-z algorithm for arbitrary lengths,
+//   - separable 3D transforms built from cached 1D plans (Plan3), and
+//   - real-to-complex transforms with Hermitian-packed spectra
+//     (PlanR/Plan3R), the fast path for convolution of real images.
+//
+// # Packed spectra
+//
+// The DFT of a real signal is Hermitian-symmetric, so for a real volume of
+// shape (X, Y, Z) only the coefficients with kx = 0 .. X/2 are independent:
+//
+//	F[kx, ky, kz] = conj(F[(X−kx) mod X, (Y−ky) mod Y, (Z−kz) mod Z])
+//
+// A packed spectrum stores exactly those (X/2+1)·Y·Z coefficients, laid out
+// like a tensor of shape PackedShape(s) = (X/2+1, Y, Z) with x fastest:
+// coefficient (kx, ky, kz) at linear index (kz·Y + ky)·(X/2+1) + kx. Packing
+// halves both the transform flops (even X runs r2c through a half-length
+// complex plan; Y and Z passes cover only X/2+1 columns) and the memory and
+// pointwise work of every spectral-domain operation. Pointwise identities —
+// products (MulInto/MulAccInto) and conjugate-reflection phase passes —
+// apply to packed spectra unchanged, because they hold per coefficient and
+// packing only drops coefficients implied by symmetry.
 //
 // Plans are safe for concurrent use by multiple workers; per-call scratch
 // comes from sync.Pool so steady-state transforms do not allocate.

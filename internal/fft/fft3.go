@@ -7,13 +7,57 @@ import (
 	"znn/internal/tensor"
 )
 
+// lineBlock is the number of adjacent strided lines gathered into one
+// contiguous tile by blockLines. Eight complex128 values span two cache
+// lines, so each sweep of the volume moves whole lines' worth of useful
+// data instead of one element per cache line.
+const lineBlock = 8
+
+// blockLines applies the 1D transform pl to every length-n line of the
+// given stride inside buf: line c (for c = 0 .. width−1) occupies elements
+// buf[base + c + j*stride], j = 0 .. n−1.
+//
+// Lines are processed in blocks of lineBlock adjacent columns: each block
+// is transposed into the contiguous tile (line c at tile[c*n : (c+1)*n]),
+// transformed at unit stride, and transposed back. The gather/scatter reads
+// and writes runs of up to lineBlock consecutive elements, so a full pass
+// over the volume touches each cache line O(1) times instead of once per
+// column, which is what made the old element-at-a-time strided walk the
+// slow phase of the separable transform. tile must have room for
+// lineBlock·n elements.
+func blockLines(pl *Plan, buf []complex128, base, width, stride, n int, inverse bool, tile []complex128) {
+	for x0 := 0; x0 < width; x0 += lineBlock {
+		b := min(lineBlock, width-x0)
+		for j := 0; j < n; j++ {
+			row := buf[base+x0+j*stride:]
+			for c := 0; c < b; c++ {
+				tile[c*n+j] = row[c]
+			}
+		}
+		for c := 0; c < b; c++ {
+			line := tile[c*n : (c+1)*n]
+			if inverse {
+				pl.InverseUnscaled(line)
+			} else {
+				pl.Forward(line)
+			}
+		}
+		for j := 0; j < n; j++ {
+			row := buf[base+x0+j*stride:]
+			for c := 0; c < b; c++ {
+				row[c] = tile[c*n+j]
+			}
+		}
+	}
+}
+
 // Plan3 performs separable 3D transforms over a complex buffer laid out like
 // a tensor of the plan's shape (x fastest). A Plan3 is safe for concurrent
 // use.
 type Plan3 struct {
 	s          tensor.Shape
 	px, py, pz *Plan
-	linePool   sync.Pool // *[]complex128, length max(Y,Z) for strided lines
+	tilePool   sync.Pool // *[]complex128, lineBlock·max(Y,Z) for blocked lines
 }
 
 var (
@@ -37,8 +81,8 @@ func NewPlan3(s tensor.Shape) *Plan3 {
 		py: NewPlan(s.Y),
 		pz: NewPlan(s.Z),
 	}
-	m := max(s.Y, s.Z)
-	p.linePool.New = func() any {
+	m := lineBlock * max(s.Y, s.Z)
+	p.tilePool.New = func() any {
 		b := make([]complex128, m)
 		return &b
 	}
@@ -72,53 +116,35 @@ func (p *Plan3) transform(buf []complex128, inverse bool) {
 	if len(buf) != s.Volume() {
 		panic(fmt.Sprintf("fft: buffer length %d does not match shape %v", len(buf), s))
 	}
-	dir := func(pl *Plan, line []complex128) {
-		if inverse {
-			pl.InverseUnscaled(line)
-		} else {
-			pl.Forward(line)
-		}
-	}
 	// X lines are contiguous.
 	if s.X > 1 {
 		for off := 0; off < len(buf); off += s.X {
-			dir(p.px, buf[off:off+s.X])
+			line := buf[off : off+s.X]
+			if inverse {
+				p.px.InverseUnscaled(line)
+			} else {
+				p.px.Forward(line)
+			}
 		}
 	}
-	// Y lines have stride X.
+	if s.Y <= 1 && s.Z <= 1 {
+		return
+	}
+	tp := p.tilePool.Get().(*[]complex128)
+	tile := *tp
+	// Y lines have stride X, X adjacent columns per z-plane.
 	if s.Y > 1 {
-		lp := p.linePool.Get().(*[]complex128)
-		line := (*lp)[:s.Y]
-		for z := 0; z < s.Z; z++ {
-			base := z * s.X * s.Y
-			for x := 0; x < s.X; x++ {
-				for y := 0; y < s.Y; y++ {
-					line[y] = buf[base+y*s.X+x]
-				}
-				dir(p.py, line)
-				for y := 0; y < s.Y; y++ {
-					buf[base+y*s.X+x] = line[y]
-				}
-			}
-		}
-		p.linePool.Put(lp)
-	}
-	// Z lines have stride X*Y.
-	if s.Z > 1 {
-		lp := p.linePool.Get().(*[]complex128)
-		line := (*lp)[:s.Z]
 		plane := s.X * s.Y
-		for i := 0; i < plane; i++ {
-			for z := 0; z < s.Z; z++ {
-				line[z] = buf[i+z*plane]
-			}
-			dir(p.pz, line)
-			for z := 0; z < s.Z; z++ {
-				buf[i+z*plane] = line[z]
-			}
+		for z := 0; z < s.Z; z++ {
+			blockLines(p.py, buf, z*plane, s.X, s.X, s.Y, inverse, tile)
 		}
-		p.linePool.Put(lp)
 	}
+	// Z lines have stride X·Y, X·Y adjacent columns.
+	if s.Z > 1 {
+		plane := s.X * s.Y
+		blockLines(p.pz, buf, 0, plane, plane, s.Z, inverse, tile)
+	}
+	p.tilePool.Put(tp)
 }
 
 // LoadReal writes t into the complex buffer buf (laid out with shape s),
@@ -160,6 +186,9 @@ func StoreReal(dst *tensor.Tensor, buf []complex128, s tensor.Shape, ox, oy, oz 
 }
 
 // MulInto computes dst[i] = a[i]*b[i] elementwise; dst may alias a or b.
+// It applies equally to full and Hermitian-packed spectra: packing only
+// restricts which coefficients are stored, and the convolution theorem
+// holds pointwise at each of them.
 func MulInto(dst, a, b []complex128) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("fft: MulInto length mismatch")
@@ -170,7 +199,8 @@ func MulInto(dst, a, b []complex128) {
 }
 
 // MulAccInto computes dst[i] += a[i]*b[i] elementwise, the accumulation used
-// when several FFT-domain products converge on one node.
+// when several FFT-domain products converge on one node. Like MulInto it
+// works on full and packed spectra alike.
 func MulAccInto(dst, a, b []complex128) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("fft: MulAccInto length mismatch")

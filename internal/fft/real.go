@@ -1,0 +1,184 @@
+package fft
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PlanR holds the precomputed state for 1D real-to-complex (r2c) forward
+// and complex-to-real (c2r) inverse transforms of a fixed length n.
+//
+// A real signal's DFT is Hermitian-symmetric, F[k] = conj(F[n−k]), so only
+// the first n/2+1 coefficients (k = 0 .. ⌊n/2⌋) are computed and stored —
+// the "packed" half-spectrum. For even n the transform runs through a
+// single complex plan of length n/2 (the classic pack-into-complex trick:
+// even samples become real parts, odd samples imaginary parts) followed by
+// an O(n) split butterfly, roughly halving the work of a full complex
+// transform. Odd lengths fall back to a full-length complex transform and
+// keep only the packed half, so packing still halves downstream memory and
+// pointwise work even when the transform itself saves nothing.
+//
+// Plans are cached and safe for concurrent use.
+type PlanR struct {
+	n    int
+	half *Plan        // length n/2 complex plan (even n ≥ 2)
+	full *Plan        // length n complex plan (odd n fallback)
+	wf   []complex128 // split twiddles exp(−2πik/n), k = 0 .. n/2 (even n)
+
+	scratch sync.Pool // *[]complex128 of length n/2 (even) or n (odd)
+}
+
+var (
+	planRMu    sync.Mutex
+	planRCache = map[int]*PlanR{}
+)
+
+// NewPlanR returns a (cached) real-transform plan for length n. It panics
+// for n < 1.
+func NewPlanR(n int) *PlanR {
+	if n < 1 {
+		panic(fmt.Sprintf("fft: invalid transform length %d", n))
+	}
+	planRMu.Lock()
+	if p, ok := planRCache[n]; ok {
+		planRMu.Unlock()
+		return p
+	}
+	planRMu.Unlock()
+	p := newPlanRUncached(n)
+	planRMu.Lock()
+	defer planRMu.Unlock()
+	if q, ok := planRCache[n]; ok {
+		return q
+	}
+	planRCache[n] = p
+	return p
+}
+
+func newPlanRUncached(n int) *PlanR {
+	p := &PlanR{n: n}
+	scratchLen := n
+	if n > 1 && n%2 == 0 {
+		p.half = NewPlan(n / 2)
+		p.wf = Twiddle(n)[: n/2+1 : n/2+1]
+		scratchLen = n / 2
+	} else if n > 1 {
+		p.full = NewPlan(n)
+	}
+	p.scratch.New = func() any {
+		s := make([]complex128, scratchLen)
+		return &s
+	}
+	return p
+}
+
+// Len returns the real transform length n.
+func (p *PlanR) Len() int { return p.n }
+
+// HalfLen returns the packed spectrum length n/2+1.
+func (p *PlanR) HalfLen() int { return p.n/2 + 1 }
+
+// Forward computes the packed half-spectrum of the real signal src:
+// dst[k] = Σ_t src[t]·exp(−2πi t k/n) for k = 0 .. n/2. len(src) must be n
+// and len(dst) must be n/2+1. The remaining coefficients are implied by
+// Hermitian symmetry F[n−k] = conj(F[k]).
+func (p *PlanR) Forward(dst []complex128, src []float64) {
+	if len(src) != p.n || len(dst) != p.HalfLen() {
+		panic(fmt.Sprintf("fft: r2c lengths src %d dst %d, want %d and %d",
+			len(src), len(dst), p.n, p.HalfLen()))
+	}
+	if p.n == 1 {
+		dst[0] = complex(src[0], 0)
+		return
+	}
+	sp := p.scratch.Get().(*[]complex128)
+	z := *sp
+	defer p.scratch.Put(sp)
+	if p.full != nil { // odd length: full complex transform, keep half
+		for j, v := range src {
+			z[j] = complex(v, 0)
+		}
+		p.full.Forward(z)
+		copy(dst, z[:p.HalfLen()])
+		return
+	}
+	// Even length n = 2m: transform z[j] = x[2j] + i·x[2j+1] at length m,
+	// then split even/odd sub-spectra with the butterfly
+	//   Fe[k] = (Z[k] + conj(Z[m−k]))/2
+	//   Fo[k] = −i·(Z[k] − conj(Z[m−k]))/2
+	//   F[k]  = Fe[k] + w^k·Fo[k],  w = exp(−2πi/n).
+	m := p.n / 2
+	for j := 0; j < m; j++ {
+		z[j] = complex(src[2*j], src[2*j+1])
+	}
+	p.half.Forward(z)
+	z0 := z[0]
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	dst[m] = complex(real(z0)-imag(z0), 0)
+	for k := 1; k < m; k++ {
+		a := z[k]
+		b := cmplxConj(z[m-k])
+		fe := (a + b) * complex(0.5, 0)
+		fo := (a - b) * complex(0, -0.5)
+		dst[k] = fe + p.wf[k]*fo
+	}
+}
+
+// Inverse reconstructs the real signal from its packed half-spectrum,
+// including the 1/n normalization. len(src) must be n/2+1 and len(dst)
+// must be n.
+func (p *PlanR) Inverse(dst []float64, src []complex128) {
+	p.inverseScaled(dst, src, 1)
+}
+
+// inverseScaled computes the c2r inverse with an extra output scale factor
+// folded into the O(n) pre-pass (so multi-dimensional callers can apply
+// their remaining normalization for free).
+func (p *PlanR) inverseScaled(dst []float64, src []complex128, scale float64) {
+	if len(dst) != p.n || len(src) != p.HalfLen() {
+		panic(fmt.Sprintf("fft: c2r lengths src %d dst %d, want %d and %d",
+			len(src), len(dst), p.HalfLen(), p.n))
+	}
+	if p.n == 1 {
+		dst[0] = real(src[0]) * scale
+		return
+	}
+	sp := p.scratch.Get().(*[]complex128)
+	z := *sp
+	defer p.scratch.Put(sp)
+	if p.full != nil { // odd length: rebuild the full Hermitian spectrum
+		c := complex(scale/float64(p.n), 0)
+		h := p.HalfLen()
+		z[0] = src[0] * c
+		for k := 1; k < h; k++ {
+			v := src[k] * c
+			z[k] = v
+			z[p.n-k] = cmplxConj(v)
+		}
+		p.full.InverseUnscaled(z)
+		for j := range dst {
+			dst[j] = real(z[j])
+		}
+		return
+	}
+	// Even length n = 2m: invert the split butterfly,
+	//   Fe[k] = (F[k] + conj(F[m−k]))/2
+	//   Fo[k] = (F[k] − conj(F[m−k]))·w^{−k}/2
+	//   Z[k]  = Fe[k] + i·Fo[k],
+	// then a length-m inverse yields x[2j] + i·x[2j+1]. The 1/m and the
+	// caller's scale fold into the butterfly constant.
+	m := p.n / 2
+	cs := complex(0.5*scale/float64(m), 0)
+	for k := 0; k < m; k++ {
+		a := src[k]
+		b := cmplxConj(src[m-k])
+		fe := a + b
+		fo := (a - b) * cmplxConj(p.wf[k])
+		z[k] = (fe + fo*complex(0, 1)) * cs
+	}
+	p.half.InverseUnscaled(z)
+	for j := 0; j < m; j++ {
+		dst[2*j] = real(z[j])
+		dst[2*j+1] = imag(z[j])
+	}
+}

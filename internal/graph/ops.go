@@ -280,15 +280,17 @@ func (o *DropoutOp) Backward(grad *tensor.Tensor, _ *BwdCtx) *tensor.Tensor {
 	return o.D.Backward(grad)
 }
 
-// SpectralEligible reports whether all edges are FFT convolutions with
-// pairwise-compatible geometry, so their converging results may be summed
-// in the FFT domain with a single inverse transform at the node (the
-// execution model of the paper's Table II costs).
+// SpectralEligible reports whether all edges are FFT convolutions (packed
+// or full-complex — SpectralCompatible requires one consistent method, so
+// the summed buffers share a layout) with pairwise-compatible geometry, so
+// their converging results may be summed in the FFT domain with a single
+// inverse transform at the node (the execution model of the paper's
+// Table II costs).
 func SpectralEligible(edges []*Edge) bool {
 	var first *conv.Transformer
 	for _, e := range edges {
 		op, ok := e.Op.(*ConvOp)
-		if !ok || op.Tr.Method() != conv.FFT {
+		if !ok || !op.Tr.Method().IsFFT() {
 			return false
 		}
 		if first == nil {

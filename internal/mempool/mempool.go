@@ -20,11 +20,12 @@ const numClasses = 32
 
 // Stats reports allocator behaviour for the pool benchmarks (experiment E13).
 type Stats struct {
-	Hits      int64 // Get calls satisfied from a free list
-	Misses    int64 // Get calls that had to allocate
-	Puts      int64 // chunks returned
-	LiveBytes int64 // bytes currently handed out
-	PoolBytes int64 // bytes parked in free lists
+	Hits          int64 // Get calls satisfied from a free list
+	Misses        int64 // Get calls that had to allocate
+	Puts          int64 // chunks returned
+	LiveBytes     int64 // bytes currently handed out
+	PeakLiveBytes int64 // high-water mark of LiveBytes since the last ResetPeak
+	PoolBytes     int64 // bytes parked in free lists
 }
 
 // Float64Pool is a size-classed pool of []float64 chunks.
@@ -43,17 +44,40 @@ type Complex128Pool struct {
 type statCounters struct {
 	hits, misses, puts atomic.Int64
 	liveBytes          atomic.Int64
+	peakLiveBytes      atomic.Int64
 	poolBytes          atomic.Int64
+}
+
+// grow adds delta (> 0) to the live-byte gauge and ratchets the high-water
+// mark. The peak is what sizes real deployments — the allocator never
+// returns memory to the system, so peak live bytes is the steady-state
+// footprint of the spectra working set (and the number the packed r2c
+// pipeline halves).
+func (c *statCounters) grow(delta int64) {
+	v := c.liveBytes.Add(delta)
+	for {
+		p := c.peakLiveBytes.Load()
+		if v <= p || c.peakLiveBytes.CompareAndSwap(p, v) {
+			return
+		}
+	}
 }
 
 func (c *statCounters) snapshot() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Puts:      c.puts.Load(),
-		LiveBytes: c.liveBytes.Load(),
-		PoolBytes: c.poolBytes.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Puts:          c.puts.Load(),
+		LiveBytes:     c.liveBytes.Load(),
+		PeakLiveBytes: c.peakLiveBytes.Load(),
+		PoolBytes:     c.poolBytes.Load(),
 	}
+}
+
+// resetPeak restarts high-water tracking from the current live level, so a
+// measurement can scope the peak to one phase.
+func (c *statCounters) resetPeak() {
+	c.peakLiveBytes.Store(c.liveBytes.Load())
 }
 
 // classFor returns the size class for a request of n elements: the smallest
@@ -74,7 +98,7 @@ func (p *Float64Pool) Get(n int) []float64 {
 	}
 	cls := classFor(n)
 	cap := 1 << cls
-	p.stats.liveBytes.Add(int64(cap) * 8)
+	p.stats.grow(int64(cap) * 8)
 	if buf, ok := p.classes[cls].pop(); ok {
 		p.stats.hits.Add(1)
 		p.stats.poolBytes.Add(-int64(cap) * 8)
@@ -108,6 +132,10 @@ func (p *Float64Pool) Put(buf []float64) {
 // Stats returns a snapshot of the allocator counters.
 func (p *Float64Pool) Stats() Stats { return p.stats.snapshot() }
 
+// ResetPeak restarts the PeakLiveBytes high-water mark from the current
+// live level.
+func (p *Float64Pool) ResetPeak() { p.stats.resetPeak() }
+
 // Get returns a zeroed []complex128 of length n, reusing pooled chunks.
 func (p *Complex128Pool) Get(n int) []complex128 {
 	if n == 0 {
@@ -115,7 +143,7 @@ func (p *Complex128Pool) Get(n int) []complex128 {
 	}
 	cls := classFor(n)
 	cap := 1 << cls
-	p.stats.liveBytes.Add(int64(cap) * 16)
+	p.stats.grow(int64(cap) * 16)
 	if buf, ok := p.classes[cls].pop(); ok {
 		p.stats.hits.Add(1)
 		p.stats.poolBytes.Add(-int64(cap) * 16)
@@ -146,6 +174,10 @@ func (p *Complex128Pool) Put(buf []complex128) {
 
 // Stats returns a snapshot of the allocator counters.
 func (p *Complex128Pool) Stats() Stats { return p.stats.snapshot() }
+
+// ResetPeak restarts the PeakLiveBytes high-water mark from the current
+// live level.
+func (p *Complex128Pool) ResetPeak() { p.stats.resetPeak() }
 
 // stack is a lock-free Treiber stack. Nodes are heap-allocated per push;
 // the garbage collector reclaims them, which also removes the ABA problem.

@@ -218,3 +218,31 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPeakLiveBytes(t *testing.T) {
+	var p Complex128Pool
+	a := p.Get(100) // class 128 → 2048 bytes
+	b := p.Get(100)
+	if got := p.Stats().PeakLiveBytes; got != 2*128*16 {
+		t.Errorf("peak with two live chunks = %d, want %d", got, 2*128*16)
+	}
+	p.Put(a)
+	p.Put(b)
+	if got := p.Stats().PeakLiveBytes; got != 2*128*16 {
+		t.Errorf("peak must not drop on Put: got %d", got)
+	}
+	if got := p.Stats().LiveBytes; got != 0 {
+		t.Errorf("live after Put = %d, want 0", got)
+	}
+	// A smaller subsequent episode must not move the old high-water mark
+	// until ResetPeak rebases it.
+	c := p.Get(10)
+	if got := p.Stats().PeakLiveBytes; got != 2*128*16 {
+		t.Errorf("peak after smaller episode = %d, want %d", got, 2*128*16)
+	}
+	p.ResetPeak()
+	if got := p.Stats().PeakLiveBytes; got != 16*16 {
+		t.Errorf("peak after ResetPeak with one live chunk = %d, want %d", got, 16*16)
+	}
+	p.Put(c)
+}

@@ -43,7 +43,11 @@ type Config struct {
 	// geometry, the edges sum their FFT-domain products and the node runs
 	// a single inverse transform — the execution model assumed by the
 	// paper's Table II costs (f′ inverse transforms per layer instead of
-	// f′·f).
+	// f′·f). The accumulated buffers use whatever spectrum layout the
+	// edges' method dictates: Hermitian-packed half-spectra for the
+	// default r2c path (conv.FFT), full complex volumes for the legacy
+	// c2c path (conv.FFTC2C); the Transformer products and finishers keep
+	// the layout internal, so the engine only moves opaque buffers.
 	DisableSpectral bool
 }
 

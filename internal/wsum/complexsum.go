@@ -16,6 +16,14 @@ import (
 // Contributions must come from mempool.Spectra; buffers consumed as
 // partial sums are returned to the pool, and the final buffer is handed to
 // the caller of Value (who releases it after the inverse transform).
+//
+// The summation is layout-agnostic: with the packed r2c pipeline the
+// contributions are Hermitian-packed spectra of length (X/2+1)·Y·Z rather
+// than full X·Y·Z volumes, which halves both the memory parked in partial
+// sums and the complex additions per contribution. All contributions to
+// one sum must share a single layout (SpectralEligible guarantees this for
+// engine-driven sums); Add panics on a length mismatch rather than
+// silently folding a packed buffer into a full one.
 type ComplexSum struct {
 	mu       sync.Mutex
 	sum      []complex128
@@ -50,6 +58,10 @@ func (s *ComplexSum) Add(v []complex128) (last bool) {
 		s.mu.Unlock()
 		if v == nil {
 			return last
+		}
+		if len(v) != len(vPrime) {
+			panic(fmt.Sprintf("wsum: spectrum length mismatch (%d vs %d): mixed packed/full contributions",
+				len(v), len(vPrime)))
 		}
 		for i := range v {
 			v[i] += vPrime[i]
