@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"znn/internal/baseline"
+	"znn/internal/benchsuite"
 	"znn/internal/conv"
 	"znn/internal/fft"
 	"znn/internal/graph"
@@ -421,6 +422,38 @@ func benchSpectralRound(b *testing.B, policy conv.TunePolicy) {
 
 func BenchmarkSpectralRoundPacked(b *testing.B) { benchSpectralRound(b, conv.TuneForceFFT) }
 func BenchmarkSpectralRoundC2C(b *testing.B)    { benchSpectralRound(b, conv.TuneForceFFTC2C) }
+
+// --- Precision A/B: float64 vs float32 spectral path ----------------------
+
+// BenchmarkFFT3R96 vs BenchmarkFFT3R96F32 is the per-transform precision
+// A/B at the 96³ class: one packed forward+inverse cycle. In pure scalar Go
+// the butterflies are compute-bound (float32 and float64 scalar multiplies
+// run at the same rate), so the isolated transform is roughly precision-
+// neutral; the float32 win appears at pipeline level, where spectra, image
+// conversions, pool zeroing and pointwise products are bandwidth-bound —
+// see BenchmarkSpectralRound96*. Harnesses live in internal/benchsuite,
+// shared with `znn-bench -json` so the trajectory files measure exactly
+// these workloads.
+
+func BenchmarkFFT3R96(b *testing.B)    { benchsuite.FFT3R[float64, complex128](b, 96) }
+func BenchmarkFFT3R96F32(b *testing.B) { benchsuite.FFT3R[float32, complex64](b, 96) }
+
+func BenchmarkSpectralRound96F64(b *testing.B) { benchsuite.SpectralRound96(b, conv.PrecF64, 2) }
+func BenchmarkSpectralRound96F32(b *testing.B) { benchsuite.SpectralRound96(b, conv.PrecF32, 2) }
+
+// BenchmarkFFT3R_Odd exposes the odd-length r2c fallback cost: odd X-lines
+// run a full-length complex transform and keep only the packed half, so
+// they gain the memory and pointwise savings but not the X-pass flop
+// halving. Each odd size is paired with its even 5-smooth neighbour so the
+// gap is visible in one run (and regressions in either path are caught).
+// Sizes share the benchsuite harness with `znn-bench -json`.
+func BenchmarkFFT3R_Odd(b *testing.B) {
+	for _, n := range []int{15, 16, 27, 30, 45, 48} {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			benchsuite.FFT3R[float64, complex128](b, n)
+		})
+	}
+}
 
 func BenchmarkFFTConvValid(b *testing.B) {
 	rng := rand.New(rand.NewSource(10))

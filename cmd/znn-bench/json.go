@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"znn/internal/benchsuite"
+	"znn/internal/conv"
+)
+
+// benchRecord is one row of the machine-readable benchmark output.
+type benchRecord struct {
+	Name    string `json:"name"`
+	Shape   string `json:"shape"`
+	NsOp    int64  `json:"ns_op"`
+	BytesOp int64  `json:"bytes_op"` // allocated bytes per op
+}
+
+// benchFile is the BENCH_<date>.json schema: metadata plus one record per
+// benchmark, so the perf trajectory is diffable across PRs instead of
+// living only in commit messages.
+type benchFile struct {
+	Date    string        `json:"date"`
+	Go      string        `json:"go"`
+	CPU     string        `json:"cpu,omitempty"`
+	Results []benchRecord `json:"results"`
+}
+
+// jsonBenchmarks runs the curated core suite — the packed transform at
+// small/large and odd/even shapes, both precisions, and the spectral
+// training round A/B — and writes BENCH_<date>.json in the current
+// directory.
+func jsonBenchmarks(cfg config) {
+	header("machine-readable core benchmarks")
+	out := benchFile{
+		Date: time.Now().Format("2006-01-02"),
+		Go:   runtime.Version(),
+		CPU:  cpuModel(),
+	}
+	add := func(name, shape string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		rec := benchRecord{
+			Name:    name,
+			Shape:   shape,
+			NsOp:    r.NsPerOp(),
+			BytesOp: r.AllocedBytesPerOp(),
+		}
+		out.Results = append(out.Results, rec)
+		fmt.Printf("%-28s %-12s %12d ns/op %10d B/op\n", rec.Name, rec.Shape, rec.NsOp, rec.BytesOp)
+	}
+
+	for _, n := range []int{15, 16, 27, 30, 45, 48, 96} {
+		n := n
+		add("fft3r/f64", fmt.Sprintf("%dx%dx%d", n, n, n), func(b *testing.B) {
+			benchsuite.FFT3R[float64, complex128](b, n)
+		})
+	}
+	add("fft3r/f32", "96x96x96", func(b *testing.B) {
+		benchsuite.FFT3R[float32, complex64](b, 96)
+	})
+	add("spectral-round/f64", "96x96x96", func(b *testing.B) {
+		benchsuite.SpectralRound96(b, conv.PrecF64, cfg.workers)
+	})
+	add("spectral-round/f32", "96x96x96", func(b *testing.B) {
+		benchsuite.SpectralRound96(b, conv.PrecF32, cfg.workers)
+	})
+
+	name := fmt.Sprintf("BENCH_%s.json", out.Date)
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s (%d results)\n", name, len(out.Results))
+}

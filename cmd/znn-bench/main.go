@@ -36,9 +36,16 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "max worker threads for measured experiments")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's full network sizes (slow)")
 	rounds := flag.Int("rounds", 0, "timed rounds per point (0 = default per experiment)")
+	jsonOut := flag.Bool("json", false,
+		"run the core benchmark suite and write machine-readable results to BENCH_<date>.json")
 	flag.Parse()
 
 	cfg := config{workers: *workers, paperScale: *paperScale, rounds: *rounds, warmup: 2}
+
+	if *jsonOut {
+		jsonBenchmarks(cfg)
+		return
+	}
 
 	experiments := map[string]func(config){
 		"tablev":  tableV,

@@ -35,6 +35,7 @@ func main() {
 	dataset := flag.String("data", "boundary", "data: boundary, texture, random")
 	convMode := flag.String("conv", "auto", "conv: auto, measured, direct, fft")
 	memoize := flag.Bool("memoize", true, "enable FFT memoization")
+	f32 := flag.Bool("f32", false, "run the spectral pipeline in float32/complex64")
 	sliding := flag.Bool("sliding", true, "convert pooling to sliding-window filtering")
 	checkpoint := flag.String("checkpoint", "", "write a checkpoint here when done")
 	seed := flag.Int64("seed", 1, "initialization seed")
@@ -64,6 +65,7 @@ func main() {
 		Loss:          *lossName,
 		Conv:          cm,
 		Memoize:       *memoize,
+		Float32:       *f32,
 		SlidingWindow: *sliding,
 		Seed:          *seed,
 	})

@@ -1,0 +1,76 @@
+// Package benchsuite holds the benchmark harnesses shared between the
+// in-repo `go test -bench` suite and `znn-bench -json`: the BENCH_<date>
+// trajectory files exist specifically to track the same numbers across
+// changes, so both entry points must measure one workload definition
+// rather than hand-maintained copies.
+package benchsuite
+
+import (
+	"math/rand"
+	"testing"
+
+	"znn/internal/conv"
+	"znn/internal/fft"
+	"znn/internal/net"
+	"znn/internal/tensor"
+	"znn/internal/train"
+)
+
+// FFT3R measures one packed forward+inverse cycle at n³ at precision
+// (R, C).
+func FFT3R[R tensor.Real, C fft.Complex](b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(20))
+	img := tensor.RandomUniformOf[R](rng, tensor.Cube(n), -1, 1)
+	p := fft.NewPlan3ROf[R, C](img.S)
+	buf := make([]C, p.PackedLen())
+	out := tensor.NewOf[R](img.S)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(buf, img)
+		p.Inverse(out, buf, 0, 0, 0)
+	}
+}
+
+// SpectralRound96 measures one spectral training round of the 96³-class
+// precision A/B: a 3D C5 layer with input extent 92 (FullConv 92+4 = 96,
+// already 5-smooth, so the common transform shape is 96³), 2×2 edges with
+// spectral accumulation active on both the forward and backward side.
+func SpectralRound96(b *testing.B, prec conv.Precision, workers int) {
+	nw, err := net.Build(net.MustParse("C5"), net.BuildOptions{
+		Width: 2, InWidth: 2, OutWidth: 2, InputExtent: 92,
+		Tuner:   &conv.Autotuner{Policy: conv.TuneForceFFT, Precision: prec},
+		Memoize: true, Seed: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	en, err := train.NewEngine(nw.G, train.Config{Workers: workers, Eta: 1e-6, Precision: prec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer en.Close()
+	rng := rand.New(rand.NewSource(9))
+	in := make([]*tensor.Tensor, 2)
+	for i := range in {
+		in[i] = tensor.RandomUniform(rng, nw.InputShape(), -1, 1)
+	}
+	des := make([]*tensor.Tensor, 2)
+	for i := range des {
+		des[i] = tensor.RandomUniform(rng, nw.OutputShape(), 0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cin := make([]*tensor.Tensor, len(in))
+		for j, t := range in {
+			cin[j] = t.Clone()
+		}
+		cdes := make([]*tensor.Tensor, len(des))
+		for j, t := range des {
+			cdes[j] = t.Clone()
+		}
+		if _, err := en.Round(cin, cdes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

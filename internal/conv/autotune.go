@@ -59,9 +59,24 @@ type LayerGeom struct {
 	FPrime int // output width
 }
 
-// Autotuner caches per-geometry decisions. The zero value uses TuneModel.
+// f32FFTCostFactor discounts the modeled FFT cost when the spectral path
+// runs in float32. The flop count is unchanged and an isolated transform
+// is nearly precision-neutral (scalar butterflies are compute-bound), but
+// the quantity the tuner predicts is per-round layer cost, and measured
+// spectral training rounds — where spectrum traffic, pool zeroing and
+// allocation volume halve — run ≈1.78× faster at f32 at 96³-class shapes
+// (see BenchmarkSpectralRound96*). The factor is the inverse of that
+// measured end-to-end ratio, applied to the whole spectral term as a
+// bandwidth proxy; it shifts the direct-vs-FFT crossover toward FFT.
+const f32FFTCostFactor = 0.56
+
+// Autotuner caches per-geometry decisions. The zero value uses TuneModel at
+// float64 precision; set Precision to PrecF32 when the layers will run the
+// reduced-precision spectral path, so both the cost model and the measured
+// primitives reflect its halved bandwidth.
 type Autotuner struct {
-	Policy TunePolicy
+	Policy    TunePolicy
+	Precision Precision
 
 	mu    sync.Mutex
 	cache map[LayerGeom]Method
@@ -85,9 +100,9 @@ func (a *Autotuner) Choose(g LayerGeom) Method {
 	a.mu.Unlock()
 	var m Method
 	if a.Policy == TuneMeasure {
-		m = measureChoice(g)
+		m = measureChoice(g, a.Precision)
 	} else {
-		m = modelChoice(g)
+		m = modelChoice(g, a.Precision)
 	}
 	a.mu.Lock()
 	if a.cache == nil {
@@ -103,8 +118,10 @@ func (a *Autotuner) Choose(g LayerGeom) Method {
 // 6Ch·log₂(n³)·[f′+f+f′·f] + 12·f′·f·h, where h = (X/2+1)·Y·Z is the
 // Hermitian-packed coefficient count — real-input transforms and packed
 // pointwise products do roughly half the work the paper's full-complex
-// formula (h = n³) charges, which shifts the crossover toward FFT.
-func modelChoice(g LayerGeom) Method {
+// formula (h = n³) charges, which shifts the crossover toward FFT. At
+// PrecF32 the spectral term is further discounted by f32FFTCostFactor
+// (halved bandwidth on a bandwidth-bound path).
+func modelChoice(g LayerGeom, prec Precision) Method {
 	out := g.In.ValidConv(g.Kernel, g.Sp)
 	f, fp := float64(g.F), float64(g.FPrime)
 	direct := 3 * fp * f * float64(out.Volume()) * float64(g.Kernel.Volume())
@@ -113,6 +130,9 @@ func modelChoice(g LayerGeom) Method {
 	hv := float64(fft.PackedVolume(m))
 	fftCost := 6*FFTConstant*hv*math.Log2(math.Max(nv, 2))*(fp+f+fp*f) +
 		12*fp*f*hv
+	if prec == PrecF32 {
+		fftCost *= f32FFTCostFactor
+	}
 	if direct <= fftCost {
 		return Direct
 	}
@@ -125,15 +145,12 @@ func modelChoice(g LayerGeom) Method {
 // image transforms plus, per edge, one kernel transform, three pointwise
 // products, three inverse transforms and two spectrum reflections; the
 // direct path performs three direct convolutions per edge. The FFT
-// primitives timed are the packed r2c ones, since Method FFT is what the
-// tuner would select.
-func measureChoice(g LayerGeom) Method {
+// primitives timed are the packed r2c ones at the tuner's precision, since
+// Method FFT at that precision is what the tuner would select.
+func measureChoice(g LayerGeom, prec Precision) Method {
 	rng := rand.New(rand.NewSource(12345))
 	img := tensor.RandomUniform(rng, g.In, -1, 1)
 	ker := tensor.RandomUniform(rng, g.Kernel, -1, 1)
-	m := transformShape(g.In, g.Kernel, g.Sp)
-	plan := fft.NewPlan3R(m)
-	pv := plan.PackedLen()
 	outShape := g.In.ValidConv(g.Kernel, g.Sp)
 
 	tDirect := timeOp(func() {
@@ -141,25 +158,7 @@ func measureChoice(g LayerGeom) Method {
 		ValidDirectInto(out, img, ker, g.Sp)
 	})
 
-	buf := mempool.Spectra.Get(pv)
-	tFFT := timeOp(func() {
-		plan.Forward(buf, img)
-	})
-	spec := append([]complex128(nil), buf...)
-	out := tensor.New(outShape)
-	ox := g.Sp.X * (g.Kernel.X - 1)
-	oy := g.Sp.Y * (g.Kernel.Y - 1)
-	oz := g.Sp.Z * (g.Kernel.Z - 1)
-	tInv := timeOp(func() {
-		copy(buf, spec)
-		plan.Inverse(out, buf, ox, oy, oz)
-	})
-	other := mempool.Spectra.Get(pv)
-	copy(other, spec)
-	tMul := timeOp(func() { fft.MulInto(buf, spec, other) })
-	tRefl := timeOp(func() { reflectSpectrumPackedInto(buf, spec, m, g.In) })
-	mempool.Spectra.Put(buf)
-	mempool.Spectra.Put(other)
+	tFFT, tInv, tMul, tRefl := measureSpectralPrimitives(g, img, prec)
 
 	f, fp := float64(g.F), float64(g.FPrime)
 	edges := f * fp
@@ -169,6 +168,46 @@ func measureChoice(g LayerGeom) Method {
 		return Direct
 	}
 	return FFT
+}
+
+// measureSpectralPrimitives times one packed forward transform, inverse
+// transform, pointwise product and spectrum reflection at the given
+// precision.
+func measureSpectralPrimitives(g LayerGeom, img *tensor.Tensor, prec Precision) (tFFT, tInv, tMul, tRefl float64) {
+	if prec == PrecF32 {
+		return timeSpectral[float32, complex64](g, img, &mempool.Spectra32)
+	}
+	return timeSpectral[float64, complex128](g, img, &mempool.Spectra)
+}
+
+// timeSpectral is the precision-generic body of measureSpectralPrimitives:
+// the plans, pools and pointwise kernels are generic, so one copy serves
+// both precisions (a skew between hand-maintained copies would skew the
+// tuner's direct-vs-FFT decision at one precision only).
+func timeSpectral[R tensor.Real, C fft.Complex](g LayerGeom, img *tensor.Tensor, pool *mempool.Pool[C]) (tFFT, tInv, tMul, tRefl float64) {
+	m := transformShape(g.In, g.Kernel, g.Sp)
+	plan := fft.NewPlan3ROf[R, C](m)
+	pv := plan.PackedLen()
+	imgR := tensor.ConvertOf[R](img)
+	out := tensor.NewOf[R](g.In.ValidConv(g.Kernel, g.Sp))
+	ox := g.Sp.X * (g.Kernel.X - 1)
+	oy := g.Sp.Y * (g.Kernel.Y - 1)
+	oz := g.Sp.Z * (g.Kernel.Z - 1)
+
+	buf := pool.Get(pv)
+	tFFT = timeOp(func() { plan.Forward(buf, imgR) })
+	spec := append([]C(nil), buf...)
+	tInv = timeOp(func() {
+		copy(buf, spec)
+		plan.Inverse(out, buf, ox, oy, oz)
+	})
+	other := pool.Get(pv)
+	copy(other, spec)
+	tMul = timeOp(func() { fft.MulInto(buf, spec, other) })
+	tRefl = timeOp(func() { reflectSpectrumPackedInto(buf, spec, m, g.In) })
+	pool.Put(buf)
+	pool.Put(other)
+	return
 }
 
 // timeOp returns the per-call seconds of f, using enough repetitions to get

@@ -326,16 +326,16 @@ func TestSpectrumCacheSharing(t *testing.T) {
 	sc.Reset(img)
 	var c Counters
 	m := transformShape(img.S, tensor.Cube(3), tensor.Dense())
-	a := sc.Get(m, true, &c)
-	b := sc.Get(m, true, &c)
-	if &a[0] != &b[0] {
+	a := sc.Get(m, true, PrecF64, &c)
+	b := sc.Get(m, true, PrecF64, &c)
+	if &a.C128[0] != &b.C128[0] {
 		t.Error("SpectrumCache.Get returned distinct buffers for same shape")
 	}
 	if c.Snapshot().FFTs != 1 {
 		t.Errorf("FFT count = %d, want 1 (cached)", c.Snapshot().FFTs)
 	}
 	sc.Reset(img)
-	_ = sc.Get(m, true, &c)
+	_ = sc.Get(m, true, PrecF64, &c)
 	if c.Snapshot().FFTs != 2 {
 		t.Errorf("FFT count after Reset = %d, want 2", c.Snapshot().FFTs)
 	}
@@ -348,7 +348,7 @@ func TestSpectrumCacheGetBeforeResetPanics(t *testing.T) {
 			t.Error("Get before Reset did not panic")
 		}
 	}()
-	sc.Get(tensor.Cube(4), true, nil)
+	sc.Get(tensor.Cube(4), true, PrecF64, nil)
 }
 
 func TestTransformerForwardUsesSharedSpectrum(t *testing.T) {
@@ -430,7 +430,7 @@ func TestModelChoiceCrossoverGrowsWithKernel(t *testing.T) {
 	prevFFT := false
 	for k := 1; k <= 13; k += 2 {
 		g := LayerGeom{In: tensor.Cube(40), Kernel: tensor.Cube(k), Sp: tensor.Dense(), F: 8, FPrime: 8}
-		isFFT := modelChoice(g) == FFT
+		isFFT := modelChoice(g, PrecF64) == FFT
 		if prevFFT && !isFFT {
 			t.Errorf("model switched back to direct at k=%d", k)
 		}

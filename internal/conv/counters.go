@@ -20,6 +20,7 @@ type Counters struct {
 	MulVolume   atomic.Int64 // coefficients of pointwise complex multiply-accumulate
 	ReflectOps  atomic.Int64 // spectrum-reflection passes (phase trick, no FFT)
 	DirectFlops atomic.Int64 // multiply-add pairs of direct convolution
+	F32FFTs     atomic.Int64 // forward + inverse transforms that ran in float32/complex64
 }
 
 // FFTConstant is the constant C in the paper's FFT cost model Cn³·log n³
@@ -42,7 +43,7 @@ func fftFlops(m tensor.Shape, packed bool) int64 {
 	return int64(FFTConstant * work * math.Log2(n))
 }
 
-func (c *Counters) addFFT(m tensor.Shape, packed bool) {
+func (c *Counters) addFFT(m tensor.Shape, packed, f32 bool) {
 	if c == nil {
 		return
 	}
@@ -50,16 +51,22 @@ func (c *Counters) addFFT(m tensor.Shape, packed bool) {
 	if packed {
 		c.PackedFFTs.Add(1)
 	}
+	if f32 {
+		c.F32FFTs.Add(1)
+	}
 	c.FFTFlops.Add(fftFlops(m, packed))
 }
 
-func (c *Counters) addInverse(m tensor.Shape, packed bool) {
+func (c *Counters) addInverse(m tensor.Shape, packed, f32 bool) {
 	if c == nil {
 		return
 	}
 	c.InverseFFTs.Add(1)
 	if packed {
 		c.PackedFFTs.Add(1)
+	}
+	if f32 {
+		c.F32FFTs.Add(1)
 	}
 	c.FFTFlops.Add(fftFlops(m, packed))
 }
@@ -98,6 +105,7 @@ type Snapshot struct {
 	MulVolume   int64
 	ReflectOps  int64
 	DirectFlops int64
+	F32FFTs     int64
 }
 
 // Snapshot returns the current counter values.
@@ -113,6 +121,7 @@ func (c *Counters) Snapshot() Snapshot {
 		MulVolume:   c.MulVolume.Load(),
 		ReflectOps:  c.ReflectOps.Load(),
 		DirectFlops: c.DirectFlops.Load(),
+		F32FFTs:     c.F32FFTs.Load(),
 	}
 }
 
@@ -127,6 +136,7 @@ func (s Snapshot) Sub(t Snapshot) Snapshot {
 		MulVolume:   s.MulVolume - t.MulVolume,
 		ReflectOps:  s.ReflectOps - t.ReflectOps,
 		DirectFlops: s.DirectFlops - t.DirectFlops,
+		F32FFTs:     s.F32FFTs - t.F32FFTs,
 	}
 }
 
@@ -142,6 +152,7 @@ func (c *Counters) Reset() {
 	c.MulVolume.Store(0)
 	c.ReflectOps.Store(0)
 	c.DirectFlops.Store(0)
+	c.F32FFTs.Store(0)
 }
 
 // directConvFlops returns the multiply-add count of a direct valid

@@ -14,6 +14,16 @@
 // kernel, and the kernel gradient is the valid convolution of the
 // reflected forward image with the backward image, subsampled at stride s
 // (Section III).
+//
+// The spectral path is parameterized by both layout and precision: Method
+// selects Hermitian-packed r2c transforms (FFT, the default) or legacy
+// full-complex ones (FFTC2C), and Precision selects float64/complex128
+// (PrecF64, bit-compatible default) or float32/complex64 (PrecF32) element
+// types for the packed path. Spectra of different layouts or precisions
+// never mix: SpectrumCache keys on (shape, packedness, precision), and
+// SpectralCompatible requires one method and one precision across a
+// summing node's edges. The autotuner's cost model and measured primitives
+// account for the halved bandwidth of PrecF32.
 package conv
 
 import (

@@ -28,7 +28,7 @@ func transformShape(n, k tensor.Shape, sp tensor.Sparsity) tensor.Shape {
 func fftOf(t *tensor.Tensor, m tensor.Shape, c *Counters) []complex128 {
 	buf := mempool.Spectra.Get(fft.PackedVolume(m))
 	fft.NewPlan3R(m).Forward(buf, t)
-	c.addFFT(m, true)
+	c.addFFT(m, true, false)
 	return buf
 }
 
@@ -75,24 +75,14 @@ func FullFFT(img, ker *tensor.Tensor, sp tensor.Sparsity) *tensor.Tensor {
 // conj(W[m])·Π_d ω_d^{(K_d−1)·m_d}, a pointwise pass with no extra FFT.
 // This is how the backward pass reuses the forward kernel FFT and the
 // update reuses the forward image FFT (Table II, memoized column).
-func reflectSpectrumInto(dst, src []complex128, m, support tensor.Shape) {
+func reflectSpectrumInto[C fft.Complex](dst, src []C, m, support tensor.Shape) {
 	if len(dst) != m.Volume() || len(src) != m.Volume() {
 		panic("conv: reflectSpectrum buffer size mismatch")
 	}
-	px := phaseTable(m.X, support.X)
-	py := phaseTable(m.Y, support.Y)
-	pz := phaseTable(m.Z, support.Z)
-	i := 0
-	for z := 0; z < m.Z; z++ {
-		for y := 0; y < m.Y; y++ {
-			pyz := py[y] * pz[z]
-			for x := 0; x < m.X; x++ {
-				v := src[i]
-				dst[i] = complex(real(v), -imag(v)) * (px[x] * pyz)
-				i++
-			}
-		}
-	}
+	px := phaseTableOf[C](m.X, support.X)
+	py := phaseTableOf[C](m.Y, support.Y)
+	pz := phaseTableOf[C](m.Z, support.Z)
+	reflectLoop(dst, src, tensor.Shape{X: m.X, Y: m.Y, Z: m.Z}, px, py, pz)
 }
 
 // reflectSpectrumPackedInto is reflectSpectrumInto on Hermitian-packed
@@ -100,50 +90,99 @@ func reflectSpectrumInto(dst, src []complex128, m, support tensor.Shape) {
 // frequency, so it applies verbatim over the packed index range
 // kx = 0 .. X/2 — and the result stays Hermitian because the reflected
 // signal is again real.
-func reflectSpectrumPackedInto(dst, src []complex128, m, support tensor.Shape) {
+func reflectSpectrumPackedInto[C fft.Complex](dst, src []C, m, support tensor.Shape) {
 	ps := fft.PackedShape(m)
 	if len(dst) != ps.Volume() || len(src) != ps.Volume() {
 		panic("conv: reflectSpectrumPacked buffer size mismatch")
 	}
-	px := phaseTable(m.X, support.X)
-	py := phaseTable(m.Y, support.Y)
-	pz := phaseTable(m.Z, support.Z)
+	px := phaseTableOf[C](m.X, support.X)
+	py := phaseTableOf[C](m.Y, support.Y)
+	pz := phaseTableOf[C](m.Z, support.Z)
+	reflectLoop(dst, src, ps, px, py, pz)
+}
+
+// reflectLoop applies dst[i] = conj(src[i])·px[x]·py[y]·pz[z] over the
+// iteration shape it (the packed or full spectrum shape; the phase tables
+// are indexed by coordinate, so the loop is layout-agnostic). The complex64
+// instantiation runs in explicit float32 component arithmetic to dodge the
+// compiler's complex64-multiply promotion (see fft's kernels64).
+func reflectLoop[C fft.Complex](dst, src []C, it tensor.Shape, px, py, pz []C) {
+	if d64, ok := any(dst).([]complex64); ok {
+		reflectLoop64(d64, any(src).([]complex64), it,
+			any(px).([]complex64), any(py).([]complex64), any(pz).([]complex64))
+		return
+	}
 	i := 0
-	for z := 0; z < ps.Z; z++ {
-		for y := 0; y < ps.Y; y++ {
+	for z := 0; z < it.Z; z++ {
+		for y := 0; y < it.Y; y++ {
 			pyz := py[y] * pz[z]
-			for x := 0; x < ps.X; x++ {
-				v := src[i]
-				dst[i] = complex(real(v), -imag(v)) * (px[x] * pyz)
+			for x := 0; x < it.X; x++ {
+				v := complex128(src[i])
+				dst[i] = C(complex(real(v), -imag(v))) * (px[x] * pyz)
 				i++
 			}
 		}
 	}
 }
 
+// reflectLoop64 is the promotion-free complex64 reflection pass.
+func reflectLoop64(dst, src []complex64, it tensor.Shape, px, py, pz []complex64) {
+	i := 0
+	for z := 0; z < it.Z; z++ {
+		for y := 0; y < it.Y; y++ {
+			a, b := py[y], pz[z]
+			pyzR := real(a)*real(b) - imag(a)*imag(b)
+			pyzI := real(a)*imag(b) + imag(a)*real(b)
+			for x := 0; x < it.X; x++ {
+				p := px[x]
+				pr := real(p)*pyzR - imag(p)*pyzI
+				pi := real(p)*pyzI + imag(p)*pyzR
+				v := src[i]
+				vr, vi := real(v), -imag(v)
+				dst[i] = complex(vr*pr-vi*pi, vr*pi+vi*pr)
+				i++
+			}
+		}
+	}
+}
+
+// phaseKey identifies a cached phase table by length, shift and precision.
+type phaseKey struct {
+	m, shift int
+	f32      bool
+}
+
 var (
 	phaseMu    sync.Mutex
-	phaseCache = map[[2]int][]complex128{}
+	phaseCache = map[phaseKey]any{} // []C
 )
 
-// phaseTable returns ω_M^{(K−1)·m} for m = 0..M−1 where ω_M = e^{−2πi/M}.
-// Tables are cached by (M, (K−1) mod M): the reflection passes run on every
-// backward and update phase, so rebuilding the table (and taking the
-// Twiddle lock) per call showed up as per-round allocation churn. Callers
+// phaseTableOf returns ω_M^{(K−1)·m} for m = 0..M−1 where ω_M = e^{−2πi/M},
+// at coefficient type C. Tables are cached by (M, (K−1) mod M, precision):
+// the reflection passes run on every backward and update phase, so
+// rebuilding the table (and taking the Twiddle lock) per call showed up as
+// per-round allocation churn. Tables are computed from the float64 twiddles
+// and rounded once, so both precisions agree to float32 accuracy. Callers
 // must not modify the returned slice.
-func phaseTable(m, k int) []complex128 {
+func phaseTableOf[C fft.Complex](m, k int) []C {
 	shift := (k - 1) % m
-	key := [2]int{m, shift}
+	var zero C
+	_, f32 := any(zero).(complex64)
+	key := phaseKey{m, shift, f32}
 	phaseMu.Lock()
 	defer phaseMu.Unlock()
 	if tab, ok := phaseCache[key]; ok {
-		return tab
+		return tab.([]C)
 	}
-	tab := make([]complex128, m)
+	tab := make([]C, m)
 	w := fft.Twiddle(m)
 	for i := 0; i < m; i++ {
-		tab[i] = w[(i*shift)%m]
+		tab[i] = C(w[(i*shift)%m])
 	}
 	phaseCache[key] = tab
 	return tab
 }
+
+// phaseTable is phaseTableOf at complex128 (the historical name, used by
+// tests).
+func phaseTable(m, k int) []complex128 { return phaseTableOf[complex128](m, k) }

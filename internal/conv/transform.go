@@ -11,18 +11,20 @@ import (
 
 // spectrumKey identifies a cached spectrum: Hermitian-packed and full
 // complex spectra of the same transform shape have different layouts (and
-// lengths), so a node feeding both packed-FFT and c2c-FFT edges keeps one
-// entry per combination.
+// lengths), and the two precisions have different element types, so a node
+// feeding a mix of edges keeps one entry per (shape, packedness, dtype)
+// combination.
 type spectrumKey struct {
 	m      tensor.Shape
 	packed bool
+	prec   Precision
 }
 
 // SpectrumCache shares the forward FFT of one node's image among all edges
 // that consume it ("the FFT of an image at a node can be shared by edges at
-// that node", Section IV). The cache is keyed by transform shape and
-// packedness so a node feeding layers with different kernel sizes keeps one
-// spectrum per shape.
+// that node", Section IV). The cache is keyed by transform shape,
+// packedness and precision so a node feeding layers with different kernel
+// sizes or dtypes keeps one spectrum per combination.
 //
 // Cached buffers are garbage-collected rather than pooled: memoizing edges
 // retain references across the round boundary (the update task may run
@@ -31,7 +33,7 @@ type spectrumKey struct {
 type SpectrumCache struct {
 	mu      sync.Mutex
 	img     *tensor.Tensor
-	entries map[spectrumKey][]complex128
+	entries map[spectrumKey]fft.Spectrum
 }
 
 // Reset points the cache at a new image, discarding cached spectra.
@@ -43,31 +45,38 @@ func (sc *SpectrumCache) Reset(img *tensor.Tensor) {
 }
 
 // Get returns the spectrum of the cached image at transform shape m —
-// Hermitian-packed when packed is true, full complex otherwise — computing
-// it on first use. The returned buffer is shared and must be treated as
-// immutable.
-func (sc *SpectrumCache) Get(m tensor.Shape, packed bool, c *Counters) []complex128 {
+// Hermitian-packed when packed is true, full complex otherwise, at the
+// given precision — computing it on first use. The returned buffer is
+// shared and must be treated as immutable.
+func (sc *SpectrumCache) Get(m tensor.Shape, packed bool, prec Precision, c *Counters) fft.Spectrum {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if sc.img == nil {
 		panic("conv: SpectrumCache.Get before Reset")
 	}
-	key := spectrumKey{m: m, packed: packed}
+	key := spectrumKey{m: m, packed: packed, prec: prec}
 	if buf, ok := sc.entries[key]; ok {
 		return buf
 	}
-	var buf []complex128
-	if packed {
-		buf = make([]complex128, fft.PackedVolume(m))
-		fft.NewPlan3R(m).Forward(buf, sc.img)
-	} else {
-		buf = make([]complex128, m.Volume())
-		fft.LoadReal(buf, m, sc.img)
-		fft.NewPlan3(m).Forward(buf)
+	var buf fft.Spectrum
+	switch {
+	case packed && prec == PrecF32:
+		b := make([]complex64, fft.PackedVolume(m))
+		fft.NewPlan3ROf[float32, complex64](m).ForwardF64(b, sc.img)
+		buf = fft.Spec64(b)
+	case packed:
+		b := make([]complex128, fft.PackedVolume(m))
+		fft.NewPlan3R(m).Forward(b, sc.img)
+		buf = fft.Spec128(b)
+	default:
+		b := make([]complex128, m.Volume())
+		fft.LoadReal(b, m, sc.img)
+		fft.NewPlan3(m).Forward(b)
+		buf = fft.Spec128(b)
 	}
-	c.addFFT(m, packed)
+	c.addFFT(m, packed, prec == PrecF32)
 	if sc.entries == nil {
-		sc.entries = map[spectrumKey][]complex128{}
+		sc.entries = map[spectrumKey]fft.Spectrum{}
 	}
 	sc.entries[key] = buf
 	return buf
@@ -81,12 +90,12 @@ const (
 	Direct Method = iota
 	// FFT computes convolutions in the frequency domain using real-input
 	// (r2c/c2r) transforms with Hermitian-packed spectra — the default
-	// spectral path.
+	// spectral path. Its element type is selected by Precision.
 	FFT
 	// FFTC2C computes frequency-domain convolutions with full complex
 	// transforms over all X·Y·Z points. It is the pre-packing code path,
 	// kept selectable (TuneForceFFTC2C) so packed-vs-full A/B benchmarks
-	// run against live code rather than an old commit.
+	// run against live code rather than an old commit. Always complex128.
 	FFTC2C
 )
 
@@ -108,11 +117,11 @@ func (m Method) String() string {
 func (m Method) IsFFT() bool { return m == FFT || m == FFTC2C }
 
 // Transformer executes the three convolution phases of one edge — forward,
-// backward, kernel gradient — with a fixed method, and implements FFT
-// memoization (Table II): the kernel spectrum persists across rounds until
-// the weight update invalidates it; with Memoize enabled the forward image
-// spectrum and backward gradient spectrum are retained for the update,
-// which then costs a single inverse transform.
+// backward, kernel gradient — with a fixed method and precision, and
+// implements FFT memoization (Table II): the kernel spectrum persists
+// across rounds until the weight update invalidates it; with Memoize
+// enabled the forward image spectrum and backward gradient spectrum are
+// retained for the update, which then costs a single inverse transform.
 //
 // The scheduler's FORCE discipline (Section VI) makes the memo slots safe
 // without extra synchronization beyond the internal mutex: an edge's update
@@ -124,43 +133,57 @@ type Transformer struct {
 	sp     tensor.Sparsity // sparsity s
 	m      tensor.Shape    // common transform shape
 	mth    Method
+	prec   Precision
 	mem    bool
 	cnt    *Counters
-	packed bool        // spectra are Hermitian-packed (Method FFT)
-	sv     int         // spectrum buffer length (packed or full volume)
-	p3     *fft.Plan3  // full-complex plan (Method FFTC2C)
-	p3r    *fft.Plan3R // packed real plan (Method FFT)
+	packed bool                              // spectra are Hermitian-packed (Method FFT)
+	sv     int                               // spectrum coefficient count (packed or full volume)
+	p3     *fft.Plan3                        // full-complex plan (Method FFTC2C)
+	p3r    *fft.Plan3R                       // packed real plan (Method FFT, PrecF64)
+	p3r32  *fft.Plan3ROf[float32, complex64] // packed real plan (Method FFT, PrecF32)
 
 	mu       sync.Mutex
-	kerF     []complex128 // spectrum of the dilated kernel
-	kerFRefl []complex128 // spectrum of the reflected dilated kernel
-	imgF     []complex128 // memoized forward image spectrum (round-scoped)
-	bwdF     []complex128 // memoized backward gradient spectrum (round-scoped)
+	kerValid bool         // kernel spectra below are current
+	kerF     fft.Spectrum // spectrum of the dilated kernel
+	kerFRefl fft.Spectrum // spectrum of the reflected dilated kernel
+	imgF     fft.Spectrum // memoized forward image spectrum (round-scoped)
+	bwdF     fft.Spectrum // memoized backward gradient spectrum (round-scoped)
 }
 
-// NewTransformer builds a transformer for an edge with the given geometry.
-// counters may be nil.
+// NewTransformer builds a float64 transformer for an edge with the given
+// geometry. counters may be nil.
 func NewTransformer(in, k tensor.Shape, sp tensor.Sparsity, method Method, memoize bool, counters *Counters) *Transformer {
+	return NewTransformerPrec(in, k, sp, method, PrecF64, memoize, counters)
+}
+
+// NewTransformerPrec builds a transformer with an explicit precision.
+// Precision affects the packed FFT path only; Direct and FFTC2C normalize
+// to PrecF64.
+func NewTransformerPrec(in, k tensor.Shape, sp tensor.Sparsity, method Method, prec Precision, memoize bool, counters *Counters) *Transformer {
 	out := in.ValidConv(k, sp)
 	if !out.Valid() {
 		panic(fmt.Sprintf("conv: kernel %v (sparsity %v) does not fit in image %v", k, sp, in))
 	}
+	if method != FFT {
+		prec = PrecF64
+	}
 	t := &Transformer{
-		in:  in,
-		k:   k,
-		out: out,
-		sp:  sp,
-		m:   transformShape(in, k, sp),
-		mth: method,
-		mem: memoize,
-		cnt: counters,
+		in:   in,
+		k:    k,
+		out:  out,
+		sp:   sp,
+		m:    transformShape(in, k, sp),
+		mth:  method,
+		prec: prec,
+		mem:  memoize,
+		cnt:  counters,
 	}
 	switch method {
 	case Direct:
 	case FFT:
 		t.packed = true
-		t.p3r = fft.NewPlan3R(t.m)
-		t.sv = t.p3r.PackedLen()
+		t.sv = fft.PackedVolume(t.m)
+		t.initPlans()
 	case FFTC2C:
 		t.p3 = fft.NewPlan3(t.m)
 		t.sv = t.m.Volume()
@@ -170,8 +193,45 @@ func NewTransformer(in, k tensor.Shape, sp tensor.Sparsity, method Method, memoi
 	return t
 }
 
+// initPlans builds the packed plan for the current precision.
+func (t *Transformer) initPlans() {
+	if t.prec == PrecF32 {
+		t.p3r32 = fft.NewPlan3ROf[float32, complex64](t.m)
+		t.p3r = nil
+	} else {
+		t.p3r = fft.NewPlan3R(t.m)
+		t.p3r32 = nil
+	}
+}
+
+// SetPrecision switches the element type of the packed spectral path. It
+// discards cached kernel spectra and memo slots (their layout changes) and
+// is a no-op for Direct and FFTC2C transformers. It must not race with the
+// transform phases: the engine calls it at compile time, before any round
+// runs.
+func (t *Transformer) SetPrecision(p Precision) {
+	if t.mth != FFT {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.prec == p {
+		return
+	}
+	t.prec = p
+	t.initPlans()
+	t.kerValid = false
+	t.kerF = fft.Spectrum{}
+	t.kerFRefl = fft.Spectrum{}
+	t.imgF = fft.Spectrum{}
+	t.bwdF = fft.Spectrum{}
+}
+
 // Method returns the convolution method in use.
 func (t *Transformer) Method() Method { return t.mth }
+
+// Precision returns the spectral element type in use.
+func (t *Transformer) Precision() Precision { return t.prec }
 
 // OutShape returns the forward output shape.
 func (t *Transformer) OutShape() tensor.Shape { return t.out }
@@ -182,71 +242,109 @@ func (t *Transformer) InShape() tensor.Shape { return t.in }
 // TransformShape returns the common FFT shape (meaningful for FFT methods).
 func (t *Transformer) TransformShape() tensor.Shape { return t.m }
 
-// specInto computes the forward spectrum of src into buf (length t.sv) at
-// the transform shape, packed or full according to the method.
-func (t *Transformer) specInto(buf []complex128, src *tensor.Tensor) {
-	if t.packed {
-		t.p3r.Forward(buf, src)
-	} else {
-		fft.LoadReal(buf, t.m, src)
-		t.p3.Forward(buf)
+// specGet draws a spectrum buffer of the method's length from the pool of
+// the method's precision.
+func (t *Transformer) specGet() fft.Spectrum {
+	if t.prec == PrecF32 {
+		return fft.Spec64(mempool.Spectra32.Get(t.sv))
 	}
-	t.cnt.addFFT(t.m, t.packed)
+	return fft.Spec128(mempool.Spectra.Get(t.sv))
+}
+
+// specInto computes the forward spectrum of src into buf (length t.sv) at
+// the transform shape, in the method's layout and precision.
+func (t *Transformer) specInto(buf fft.Spectrum, src *tensor.Tensor) {
+	switch {
+	case t.packed && t.prec == PrecF32:
+		t.p3r32.ForwardF64(buf.C64, src)
+	case t.packed:
+		t.p3r.Forward(buf.C128, src)
+	default:
+		fft.LoadReal(buf.C128, t.m, src)
+		t.p3.Forward(buf.C128)
+	}
+	t.cnt.addFFT(t.m, t.packed, t.prec == PrecF32)
 }
 
 // newSpec allocates a GC-managed spectrum buffer (memo slots and kernel
 // spectra live across round boundaries, so they bypass the pool — see
 // SpectrumCache) and fills it with the forward spectrum of src.
-func (t *Transformer) newSpec(src *tensor.Tensor) []complex128 {
-	buf := make([]complex128, t.sv)
+func (t *Transformer) newSpec(src *tensor.Tensor) fft.Spectrum {
+	var buf fft.Spectrum
+	if t.prec == PrecF32 {
+		buf = fft.Spec64(make([]complex64, t.sv))
+	} else {
+		buf = fft.Spec128(make([]complex128, t.sv))
+	}
 	t.specInto(buf, src)
 	return buf
 }
 
 // inverseStore inverts spec (consuming the buffer) and stores the
 // sub-volume at (ox,oy,oz) into out, with the 1/N normalization.
-func (t *Transformer) inverseStore(out *tensor.Tensor, spec []complex128, ox, oy, oz int) {
-	if t.packed {
-		t.p3r.Inverse(out, spec, ox, oy, oz)
-	} else {
-		t.p3.Inverse(spec)
-		fft.StoreReal(out, spec, t.m, ox, oy, oz)
+func (t *Transformer) inverseStore(out *tensor.Tensor, spec fft.Spectrum, ox, oy, oz int) {
+	switch {
+	case t.packed && t.prec == PrecF32:
+		t.p3r32.InverseF64(out, spec.C64, ox, oy, oz)
+	case t.packed:
+		t.p3r.Inverse(out, spec.C128, ox, oy, oz)
+	default:
+		t.p3.Inverse(spec.C128)
+		fft.StoreReal(out, spec.C128, t.m, ox, oy, oz)
 	}
-	t.cnt.addInverse(t.m, t.packed)
+	t.cnt.addInverse(t.m, t.packed, t.prec == PrecF32)
 }
 
 // reflectInto applies the conjugate-reflection phase pass for a signal of
-// the given support, in the method's spectrum layout.
-func (t *Transformer) reflectInto(dst, src []complex128, support tensor.Shape) {
-	if t.packed {
-		reflectSpectrumPackedInto(dst, src, t.m, support)
-	} else {
-		reflectSpectrumInto(dst, src, t.m, support)
+// the given support, in the method's spectrum layout and precision.
+func (t *Transformer) reflectInto(dst, src fft.Spectrum, support tensor.Shape) {
+	switch {
+	case t.packed && t.prec == PrecF32:
+		reflectSpectrumPackedInto(dst.C64, src.C64, t.m, support)
+	case t.packed:
+		reflectSpectrumPackedInto(dst.C128, src.C128, t.m, support)
+	default:
+		reflectSpectrumInto(dst.C128, src.C128, t.m, support)
 	}
 	t.cnt.addReflect(t.m)
 }
 
 // kernelSpectra returns the (possibly cached) spectra of the dilated kernel
-// and its reflection, computing them if the update invalidated them.
-func (t *Transformer) kernelSpectra(ker *tensor.Tensor) (kf, kfr []complex128) {
+// and its reflection, computing them if the update invalidated them. The
+// buffers are recomputed in place across invalidations: the kernel changes
+// every round, so releasing and reallocating two transform-sized buffers
+// per edge per round was pure GC churn on the hot path. In-place reuse is
+// safe under the FORCE discipline that already protects invalidation — an
+// edge's update (which invalidates) always runs before the edge's next
+// forward pass reads the spectra.
+func (t *Transformer) kernelSpectra(ker *tensor.Tensor) (kf, kfr fft.Spectrum) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.kerF == nil {
+	if !t.kerValid {
+		if t.kerF.IsNil() {
+			if t.prec == PrecF32 {
+				t.kerF = fft.Spec64(make([]complex64, t.sv))
+				t.kerFRefl = fft.Spec64(make([]complex64, t.sv))
+			} else {
+				t.kerF = fft.Spec128(make([]complex128, t.sv))
+				t.kerFRefl = fft.Spec128(make([]complex128, t.sv))
+			}
+		}
 		d := ker.Dilate(t.sp)
-		t.kerF = t.newSpec(d)
-		t.kerFRefl = make([]complex128, t.sv)
+		t.specInto(t.kerF, d)
 		t.reflectInto(t.kerFRefl, t.kerF, d.S)
+		t.kerValid = true
 	}
 	return t.kerF, t.kerFRefl
 }
 
-// InvalidateKernel discards the cached kernel spectra; the update task
-// calls this after changing the weights.
+// InvalidateKernel marks the cached kernel spectra stale; the update task
+// calls this after changing the weights. The buffers are retained for
+// in-place recomputation.
 func (t *Transformer) InvalidateKernel() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.kerF = nil
-	t.kerFRefl = nil
+	t.kerValid = false
 }
 
 // Forward computes the edge's forward pass: the valid sparse convolution of
@@ -264,19 +362,19 @@ func (t *Transformer) Forward(img, ker *tensor.Tensor, sc *SpectrumCache) *tenso
 		t.cnt.addDirect(directConvFlops(t.out, t.k))
 		return out
 	}
-	var imgF []complex128
+	var imgF fft.Spectrum
 	if sc != nil {
-		imgF = sc.Get(t.m, t.packed, t.cnt)
+		imgF = sc.Get(t.m, t.packed, t.prec, t.cnt)
 	} else {
 		imgF = t.newSpec(img)
 	}
 	kf, _ := t.kernelSpectra(ker)
-	prod := mempool.Spectra.Get(t.sv)
-	fft.MulInto(prod, imgF, kf)
+	prod := t.specGet()
+	fft.MulSpecInto(prod, imgF, kf)
 	t.cnt.addMul(t.m, t.packed)
 	out := tensor.New(t.out)
 	t.inverseStore(out, prod, t.sp.X*(t.k.X-1), t.sp.Y*(t.k.Y-1), t.sp.Z*(t.k.Z-1))
-	mempool.Spectra.Put(prod)
+	prod.Release()
 	if t.mem {
 		t.mu.Lock()
 		t.imgF = imgF
@@ -299,19 +397,19 @@ func (t *Transformer) Backward(bwd, ker *tensor.Tensor, sc *SpectrumCache) *tens
 		t.cnt.addDirect(directConvFlops(t.out, t.k))
 		return out
 	}
-	var bwdF []complex128
+	var bwdF fft.Spectrum
 	if sc != nil {
-		bwdF = sc.Get(t.m, t.packed, t.cnt)
+		bwdF = sc.Get(t.m, t.packed, t.prec, t.cnt)
 	} else {
 		bwdF = t.newSpec(bwd)
 	}
 	_, kfr := t.kernelSpectra(ker)
-	prod := mempool.Spectra.Get(t.sv)
-	fft.MulInto(prod, bwdF, kfr)
+	prod := t.specGet()
+	fft.MulSpecInto(prod, bwdF, kfr)
 	t.cnt.addMul(t.m, t.packed)
 	out := tensor.New(t.in)
 	t.inverseStore(out, prod, 0, 0, 0)
-	mempool.Spectra.Put(prod)
+	prod.Release()
 	if t.mem {
 		t.mu.Lock()
 		t.bwdF = bwdF
@@ -338,18 +436,18 @@ func (t *Transformer) KernelGrad(img, bwd *tensor.Tensor) *tensor.Tensor {
 	}
 	t.mu.Lock()
 	imgF, bwdF := t.imgF, t.bwdF
-	t.imgF, t.bwdF = nil, nil
+	t.imgF, t.bwdF = fft.Spectrum{}, fft.Spectrum{}
 	t.mu.Unlock()
-	if imgF == nil {
+	if imgF.IsNil() {
 		imgF = t.newSpec(img)
 	}
-	if bwdF == nil {
+	if bwdF.IsNil() {
 		bwdF = t.newSpec(bwd)
 	}
 	// F(reflect(img)) from the memoized F(img) via the phase trick.
-	prod := mempool.Spectra.Get(t.sv)
+	prod := t.specGet()
 	t.reflectInto(prod, imgF, t.in)
-	fft.MulInto(prod, prod, bwdF)
+	fft.MulSpecInto(prod, prod, bwdF)
 	t.cnt.addMul(t.m, t.packed)
 	// Full-convolution values at offsets (n′−1) + s·a, a = 0..k−1.
 	full := tensor.New(tensor.Shape{
@@ -358,7 +456,7 @@ func (t *Transformer) KernelGrad(img, bwd *tensor.Tensor) *tensor.Tensor {
 		Z: t.sp.Z*(t.k.Z-1) + 1,
 	})
 	t.inverseStore(full, prod, t.out.X-1, t.out.Y-1, t.out.Z-1)
-	mempool.Spectra.Put(prod)
+	prod.Release()
 	return full.Subsample(0, 0, 0, t.sp, t.k)
 }
 
@@ -367,7 +465,7 @@ func (t *Transformer) KernelGrad(img, bwd *tensor.Tensor) *tensor.Tensor {
 func (t *Transformer) HasMemoizedSpectra() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.imgF != nil && t.bwdF != nil
+	return !t.imgF.IsNil() && !t.bwdF.IsNil()
 }
 
 // --- Spectral accumulation (node-level FFT-domain summation) -------------
@@ -380,11 +478,11 @@ func (t *Transformer) HasMemoizedSpectra() bool {
 // the per-edge products and the per-node finishers.
 
 // SpectralCompatible reports whether two transformers may share a node's
-// spectral sum: same FFT method (so the buffers have the same layout and
-// length), transform shape, kernel shape and sparsity (the crop offsets
-// must agree).
+// spectral sum: same FFT method and precision (so the buffers have the same
+// layout, length and element type), transform shape, kernel shape and
+// sparsity (the crop offsets must agree).
 func (t *Transformer) SpectralCompatible(o *Transformer) bool {
-	return t.mth.IsFFT() && t.mth == o.mth &&
+	return t.mth.IsFFT() && t.mth == o.mth && t.prec == o.prec &&
 		t.m == o.m && t.k == o.k && t.sp == o.sp && t.out == o.out && t.in == o.in
 }
 
@@ -392,22 +490,22 @@ func (t *Transformer) SpectralCompatible(o *Transformer) bool {
 // F(img)·F(kernel) into a pooled buffer (ownership passes to the caller,
 // typically a wsum.ComplexSum). Memoization records the image spectrum
 // exactly as Forward does.
-func (t *Transformer) ForwardProduct(img, ker *tensor.Tensor, sc *SpectrumCache) []complex128 {
+func (t *Transformer) ForwardProduct(img, ker *tensor.Tensor, sc *SpectrumCache) fft.Spectrum {
 	if !t.mth.IsFFT() {
 		panic("conv: ForwardProduct on a direct-method transformer")
 	}
 	if img.S != t.in {
 		panic(fmt.Sprintf("conv: forward image %v, want %v", img.S, t.in))
 	}
-	var imgF []complex128
+	var imgF fft.Spectrum
 	if sc != nil {
-		imgF = sc.Get(t.m, t.packed, t.cnt)
+		imgF = sc.Get(t.m, t.packed, t.prec, t.cnt)
 	} else {
 		imgF = t.newSpec(img)
 	}
 	kf, _ := t.kernelSpectra(ker)
-	prod := mempool.Spectra.Get(t.sv)
-	fft.MulInto(prod, imgF, kf)
+	prod := t.specGet()
+	fft.MulSpecInto(prod, imgF, kf)
 	t.cnt.addMul(t.m, t.packed)
 	if t.mem {
 		t.mu.Lock()
@@ -419,32 +517,32 @@ func (t *Transformer) ForwardProduct(img, ker *tensor.Tensor, sc *SpectrumCache)
 
 // FinishForward inverts an accumulated forward spectrum, crops the valid
 // region, and releases the buffer to the pool.
-func (t *Transformer) FinishForward(spec []complex128) *tensor.Tensor {
+func (t *Transformer) FinishForward(spec fft.Spectrum) *tensor.Tensor {
 	out := tensor.New(t.out)
 	t.inverseStore(out, spec,
 		t.sp.X*(t.k.X-1), t.sp.Y*(t.k.Y-1), t.sp.Z*(t.k.Z-1))
-	mempool.Spectra.Put(spec)
+	spec.Release()
 	return out
 }
 
 // BackwardProduct computes the edge's FFT-domain backward product
 // F(bwd)·F(reflected kernel) into a pooled buffer.
-func (t *Transformer) BackwardProduct(bwd, ker *tensor.Tensor, sc *SpectrumCache) []complex128 {
+func (t *Transformer) BackwardProduct(bwd, ker *tensor.Tensor, sc *SpectrumCache) fft.Spectrum {
 	if !t.mth.IsFFT() {
 		panic("conv: BackwardProduct on a direct-method transformer")
 	}
 	if bwd.S != t.out {
 		panic(fmt.Sprintf("conv: backward image %v, want %v", bwd.S, t.out))
 	}
-	var bwdF []complex128
+	var bwdF fft.Spectrum
 	if sc != nil {
-		bwdF = sc.Get(t.m, t.packed, t.cnt)
+		bwdF = sc.Get(t.m, t.packed, t.prec, t.cnt)
 	} else {
 		bwdF = t.newSpec(bwd)
 	}
 	_, kfr := t.kernelSpectra(ker)
-	prod := mempool.Spectra.Get(t.sv)
-	fft.MulInto(prod, bwdF, kfr)
+	prod := t.specGet()
+	fft.MulSpecInto(prod, bwdF, kfr)
 	t.cnt.addMul(t.m, t.packed)
 	if t.mem {
 		t.mu.Lock()
@@ -456,9 +554,9 @@ func (t *Transformer) BackwardProduct(bwd, ker *tensor.Tensor, sc *SpectrumCache
 
 // FinishBackward inverts an accumulated backward spectrum, crops the full
 // region (the input shape), and releases the buffer.
-func (t *Transformer) FinishBackward(spec []complex128) *tensor.Tensor {
+func (t *Transformer) FinishBackward(spec fft.Spectrum) *tensor.Tensor {
 	out := tensor.New(t.in)
 	t.inverseStore(out, spec, 0, 0, 0)
-	mempool.Spectra.Put(spec)
+	spec.Release()
 	return out
 }

@@ -11,6 +11,20 @@
 //   - real-to-complex transforms with Hermitian-packed spectra
 //     (PlanR/Plan3R), the fast path for convolution of real images.
 //
+// # Precision
+//
+// Every plan is generic over the coefficient type: PlanOf[C] for complex
+// line transforms, PlanROf[R, C] and Plan3ROf[R, C] for the real-input
+// transforms, with C ∈ {complex64, complex128} and R the matching float
+// type. The training pipeline is memory-bandwidth-bound on multi-core
+// machines, so the complex64 instantiation — half the bytes per
+// coefficient — roughly doubles effective bandwidth through the Y/Z passes
+// and every pointwise spectral operation. Twiddle, chirp and phase tables
+// are always computed in float64 and rounded once, so the float32 path
+// loses no accuracy to table construction. Plan, PlanR, Plan3 and Plan3R
+// remain aliases for the float64/complex128 instantiations; plans of both
+// precisions for one length coexist in the cache.
+//
 // # Packed spectra
 //
 // The DFT of a real signal is Hermitian-symmetric, so for a real volume of
@@ -36,85 +50,141 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"znn/internal/tensor"
 )
+
+// Complex is the constraint satisfied by spectrum coefficient types.
+// Exactly the two builtin types (no ~) — see tensor.Real for why defined
+// types are excluded.
+type Complex interface {
+	complex64 | complex128
+}
+
+// is32 reports whether the coefficient type C is the single-precision
+// complex64 (used to key plan caches and size accounting).
+func is32[C Complex]() bool {
+	var z C
+	_, ok := any(z).(complex64)
+	return ok
+}
+
+// isR32 is is32 for the real type parameter of the r2c plans.
+func isR32[R tensor.Real]() bool {
+	var z R
+	_, ok := any(z).(float32)
+	return ok
+}
+
+// conjOf returns the complex conjugate generically. The round-trip through
+// complex128 is free for complex128 and a pair of float converts for
+// complex64; hot loops that conjugate per element absorb it in the halved
+// bandwidth.
+func conjOf[C Complex](c C) C {
+	z := complex128(c)
+	return C(complex(real(z), -imag(z)))
+}
+
+// cmplxOf builds a coefficient of type C from float64 parts.
+func cmplxOf[C Complex](re, im float64) C {
+	return C(complex(re, im))
+}
 
 // maxRadix is the largest prime factor handled by the mixed-radix path.
 // Larger prime factors fall back to Bluestein.
 const maxRadix = 5
 
-// Plan holds the precomputed twiddle factors for 1D complex transforms of a
-// fixed length.
-type Plan struct {
+// PlanOf holds the precomputed twiddle factors for 1D complex transforms of
+// a fixed length at coefficient type C.
+type PlanOf[C Complex] struct {
 	n       int
-	factors []int        // mixed-radix factorization (empty when bluestein != nil)
-	w       []complex128 // w[k] = exp(-2πi k/n), forward twiddles
-	winv    []complex128 // conjugate twiddles for the inverse transform
-	blue    *bluestein   // non-nil when n has a prime factor > maxRadix
+	factors []int         // mixed-radix factorization (empty when bluestein != nil)
+	w       []C           // w[k] = exp(-2πi k/n), forward twiddles
+	winv    []C           // conjugate twiddles for the inverse transform
+	blue    *bluestein[C] // non-nil when n has a prime factor > maxRadix
 
-	scratch sync.Pool // *[]complex128 of length n
+	scratch sync.Pool // *[]C of length n
+}
+
+// Plan is the double-precision complex plan.
+type Plan = PlanOf[complex128]
+
+// planKey identifies a cached plan: plans of both precisions for the same
+// length coexist.
+type planKey struct {
+	n   int
+	f32 bool
 }
 
 var (
 	planMu    sync.Mutex
-	planCache = map[int]*Plan{}
+	planCache = map[planKey]any{} // *PlanOf[C]
 )
 
-// NewPlan returns a (cached) plan for transforms of length n. It panics for
-// n < 1.
+// NewPlan returns a (cached) complex128 plan for transforms of length n.
+func NewPlan(n int) *Plan { return NewPlanOf[complex128](n) }
+
+// NewPlanOf returns a (cached) plan for transforms of length n at
+// coefficient type C. It panics for n < 1.
 //
 // Construction happens outside the cache lock because Bluestein plans
 // recursively create their inner power-of-two plan; two goroutines racing
 // on the same uncached length may both build it, and the first to publish
 // wins.
-func NewPlan(n int) *Plan {
+func NewPlanOf[C Complex](n int) *PlanOf[C] {
 	if n < 1 {
 		panic(fmt.Sprintf("fft: invalid transform length %d", n))
 	}
+	key := planKey{n, is32[C]()}
 	planMu.Lock()
-	if p, ok := planCache[n]; ok {
+	if p, ok := planCache[key]; ok {
 		planMu.Unlock()
-		return p
+		return p.(*PlanOf[C])
 	}
 	planMu.Unlock()
-	p := newPlanUncached(n)
+	p := newPlanUncached[C](n)
 	planMu.Lock()
 	defer planMu.Unlock()
-	if q, ok := planCache[n]; ok {
-		return q
+	if q, ok := planCache[key]; ok {
+		return q.(*PlanOf[C])
 	}
-	planCache[n] = p
+	planCache[key] = p
 	return p
 }
 
-func newPlanUncached(n int) *Plan {
-	p := &Plan{n: n}
+func newPlanUncached[C Complex](n int) *PlanOf[C] {
+	p := &PlanOf[C]{n: n}
 	p.scratch.New = func() any {
-		s := make([]complex128, n)
+		s := make([]C, n)
 		return &s
 	}
 	factors, rem := factorize(n)
 	if rem == 1 {
 		p.factors = factors
-		p.w = twiddles(n, -1)
-		p.winv = twiddles(n, +1)
+		p.w = twiddlesOf[C](n, -1)
+		p.winv = twiddlesOf[C](n, +1)
 	} else {
-		p.blue = newBluestein(n)
+		p.blue = newBluestein[C](n)
 	}
 	return p
 }
 
 // Len returns the transform length.
-func (p *Plan) Len() int { return p.n }
+func (p *PlanOf[C]) Len() int { return p.n }
 
-// twiddles returns the n roots of unity exp(sign·2πi k/n).
-func twiddles(n int, sign float64) []complex128 {
-	w := make([]complex128, n)
+// twiddlesOf returns the n roots of unity exp(sign·2πi k/n), computed in
+// float64 and rounded once to C.
+func twiddlesOf[C Complex](n int, sign float64) []C {
+	w := make([]C, n)
 	for k := 0; k < n; k++ {
 		ang := sign * 2 * math.Pi * float64(k) / float64(n)
-		w[k] = complex(math.Cos(ang), math.Sin(ang))
+		w[k] = cmplxOf[C](math.Cos(ang), math.Sin(ang))
 	}
 	return w
 }
+
+// twiddles returns the complex128 roots of unity exp(sign·2πi k/n).
+func twiddles(n int, sign float64) []complex128 { return twiddlesOf[complex128](n, sign) }
 
 // factorize splits n into factors in {4, 2, 3, 5} (4 first so the common
 // power-of-two case uses radix-4 butterflies), returning the factor list and
@@ -155,23 +225,34 @@ func GoodSize(n int) int {
 
 // Forward computes the in-place forward DFT of data, whose length must equal
 // the plan length.
-func (p *Plan) Forward(data []complex128) { p.transform(data, false) }
+func (p *PlanOf[C]) Forward(data []C) { p.transform(data, false) }
 
 // Inverse computes the in-place inverse DFT of data, including the 1/n
 // normalization.
-func (p *Plan) Inverse(data []complex128) {
+func (p *PlanOf[C]) Inverse(data []C) {
 	p.transform(data, true)
-	scale := 1 / float64(p.n)
-	for i := range data {
-		data[i] = complex(real(data[i])*scale, imag(data[i])*scale)
+	scaleOf(data, 1/float64(p.n))
+}
+
+// scaleOf multiplies every element by the real factor s, scaling the
+// components directly (two multiplies per element); a full complex
+// multiply by (s+0i) would double the flops of the normalization pass.
+func scaleOf[C Complex](data []C, s float64) {
+	if d64, ok := any(data).([]complex64); ok {
+		scale64(d64, float32(s))
+		return
+	}
+	d128 := any(data).([]complex128)
+	for i, v := range d128 {
+		d128[i] = complex(real(v)*s, imag(v)*s)
 	}
 }
 
 // InverseUnscaled computes the inverse DFT without the 1/n factor. FFT
 // convolution folds the normalization into a single pass over the product.
-func (p *Plan) InverseUnscaled(data []complex128) { p.transform(data, true) }
+func (p *PlanOf[C]) InverseUnscaled(data []C) { p.transform(data, true) }
 
-func (p *Plan) transform(data []complex128, inverse bool) {
+func (p *PlanOf[C]) transform(data []C, inverse bool) {
 	if len(data) != p.n {
 		panic(fmt.Sprintf("fft: data length %d does not match plan length %d", len(data), p.n))
 	}
@@ -182,21 +263,25 @@ func (p *Plan) transform(data []complex128, inverse bool) {
 		p.blue.transform(data, inverse)
 		return
 	}
-	sp := p.scratch.Get().(*[]complex128)
+	sp := p.scratch.Get().(*[]C)
 	src := *sp
 	copy(src, data)
 	w := p.w
 	if inverse {
 		w = p.winv
 	}
-	p.rec(data, src, p.n, 1, 0, w)
+	if d64, ok := any(data).([]complex64); ok {
+		rec64(p.factors, p.n, d64, any(src).([]complex64), p.n, 1, 0, any(w).([]complex64))
+	} else {
+		p.rec(data, src, p.n, 1, 0, w)
+	}
 	p.scratch.Put(sp)
 }
 
 // rec computes the DFT of the length-n subsequence of src starting at
 // offset 0 with the given stride, writing the contiguous result into dst.
 // w is the full-length twiddle table for the chosen direction.
-func (p *Plan) rec(dst, src []complex128, n, stride, fi int, w []complex128) {
+func (p *PlanOf[C]) rec(dst, src []C, n, stride, fi int, w []C) {
 	if n == 1 {
 		dst[0] = src[0]
 		return
@@ -209,9 +294,14 @@ func (p *Plan) rec(dst, src []complex128, n, stride, fi int, w []complex128) {
 	// Combine the radix sub-transforms in place. For each k the reads
 	// (dst[j*m+k]) and writes (dst[q*m+k]) touch the same positions, so
 	// buffering reads in t makes the in-place update safe.
+	//
+	// Twiddle indices like (j·k·step) mod p.n advance by a fixed amount
+	// < p.n per iteration, so they are tracked incrementally with a
+	// conditional subtract: an integer divide per lookup was a measurable
+	// slice of the butterfly time at every radix above 2.
 	step := p.n / n      // twiddle stride for ω_n
 	stepR := p.n / radix // twiddle stride for ω_radix
-	var t [maxRadix]complex128
+	var t [maxRadix]C
 	switch radix {
 	case 2:
 		for k := 0; k < m; k++ {
@@ -223,11 +313,12 @@ func (p *Plan) rec(dst, src []complex128, n, stride, fi int, w []complex128) {
 	case 4:
 		// Radix-4 butterfly: ω_4 powers are ±1, ±i.
 		neg := w[stepR] // -i forward, +i inverse
+		i2, i3 := 0, 0
 		for k := 0; k < m; k++ {
 			a := dst[k]
 			b := dst[m+k] * w[k*step]
-			c := dst[2*m+k] * w[(2*k*step)%p.n]
-			d := dst[3*m+k] * w[(3*k*step)%p.n]
+			c := dst[2*m+k] * w[i2]
+			d := dst[3*m+k] * w[i3]
 			apc, amc := a+c, a-c
 			bpd, bmd := b+d, b-d
 			jbmd := bmd * neg
@@ -235,18 +326,35 @@ func (p *Plan) rec(dst, src []complex128, n, stride, fi int, w []complex128) {
 			dst[m+k] = amc + jbmd
 			dst[2*m+k] = apc - bpd
 			dst[3*m+k] = amc - jbmd
+			if i2 += 2 * step; i2 >= p.n {
+				i2 -= p.n
+			}
+			if i3 += 3 * step; i3 >= p.n {
+				i3 -= p.n
+			}
 		}
 	default:
+		var idx [maxRadix]int // idx[j] = (j·k·step) mod p.n
 		for k := 0; k < m; k++ {
 			for j := 0; j < radix; j++ {
-				t[j] = dst[j*m+k] * w[(j*k*step)%p.n]
+				t[j] = dst[j*m+k] * w[idx[j]]
 			}
 			for q := 0; q < radix; q++ {
 				acc := t[0]
+				qs := q * stepR // < p.n
+				iq := 0         // (j·q·stepR) mod p.n
 				for j := 1; j < radix; j++ {
-					acc += t[j] * w[(j*q*stepR)%p.n]
+					if iq += qs; iq >= p.n {
+						iq -= p.n
+					}
+					acc += t[j] * w[iq]
 				}
 				dst[q*m+k] = acc
+			}
+			for j := 1; j < radix; j++ {
+				if idx[j] += j * step; idx[j] >= p.n {
+					idx[j] -= p.n
+				}
 			}
 		}
 	}
@@ -254,35 +362,35 @@ func (p *Plan) rec(dst, src []complex128, n, stride, fi int, w []complex128) {
 
 // bluestein implements the chirp-z transform for arbitrary lengths on top of
 // a power-of-two convolution.
-type bluestein struct {
+type bluestein[C Complex] struct {
 	n     int
-	m     int          // power-of-two convolution length ≥ 2n-1
-	chirp []complex128 // exp(-πi k²/n), k = 0..n-1
-	bHat  []complex128 // forward FFT of the chirp filter, length m
-	inner *Plan        // power-of-two plan of length m
-	pool  sync.Pool    // *[]complex128 of length m
+	m     int        // power-of-two convolution length ≥ 2n-1
+	chirp []C        // exp(-πi k²/n), k = 0..n-1
+	bHat  []C        // forward FFT of the chirp filter, length m
+	inner *PlanOf[C] // power-of-two plan of length m
+	pool  sync.Pool  // *[]C of length m
 }
 
-func newBluestein(n int) *bluestein {
+func newBluestein[C Complex](n int) *bluestein[C] {
 	m := 1
 	for m < 2*n-1 {
 		m *= 2
 	}
-	b := &bluestein{n: n, m: m, inner: NewPlan(m)}
+	b := &bluestein[C]{n: n, m: m, inner: NewPlanOf[C](m)}
 	b.pool.New = func() any {
-		s := make([]complex128, m)
+		s := make([]C, m)
 		return &s
 	}
-	b.chirp = make([]complex128, n)
+	b.chirp = make([]C, n)
 	for k := 0; k < n; k++ {
 		// k² mod 2n keeps the angle argument small and exact.
 		kk := (k * k) % (2 * n)
 		ang := -math.Pi * float64(kk) / float64(n)
-		b.chirp[k] = complex(math.Cos(ang), math.Sin(ang))
+		b.chirp[k] = cmplxOf[C](math.Cos(ang), math.Sin(ang))
 	}
-	bvec := make([]complex128, m)
+	bvec := make([]C, m)
 	for k := 0; k < n; k++ {
-		c := cmplxConj(b.chirp[k])
+		c := conjOf(b.chirp[k])
 		bvec[k] = c
 		if k > 0 {
 			bvec[m-k] = c
@@ -293,24 +401,23 @@ func newBluestein(n int) *bluestein {
 	return b
 }
 
-func (b *bluestein) transform(data []complex128, inverse bool) {
+func (b *bluestein[C]) transform(data []C, inverse bool) {
 	if inverse {
 		// IDFT(x) = conj(DFT(conj(x))) / n
 		for i := range data {
-			data[i] = cmplxConj(data[i])
+			data[i] = conjOf(data[i])
 		}
 		b.forward(data)
-		scale := complex(1, 0) // caller applies 1/n when needed
 		for i := range data {
-			data[i] = cmplxConj(data[i]) * scale
+			data[i] = conjOf(data[i]) // caller applies 1/n when needed
 		}
 		return
 	}
 	b.forward(data)
 }
 
-func (b *bluestein) forward(data []complex128) {
-	ap := b.pool.Get().(*[]complex128)
+func (b *bluestein[C]) forward(data []C) {
+	ap := b.pool.Get().(*[]C)
 	a := *ap
 	for i := range a {
 		a[i] = 0

@@ -9,8 +9,9 @@ import (
 
 // lineBlock is the number of adjacent strided lines gathered into one
 // contiguous tile by blockLines. Eight complex128 values span two cache
-// lines, so each sweep of the volume moves whole lines' worth of useful
-// data instead of one element per cache line.
+// lines (eight complex64 values span one), so each sweep of the volume
+// moves whole lines' worth of useful data instead of one element per cache
+// line.
 const lineBlock = 8
 
 // blockLines applies the 1D transform pl to every length-n line of the
@@ -25,7 +26,7 @@ const lineBlock = 8
 // column, which is what made the old element-at-a-time strided walk the
 // slow phase of the separable transform. tile must have room for
 // lineBlock·n elements.
-func blockLines(pl *Plan, buf []complex128, base, width, stride, n int, inverse bool, tile []complex128) {
+func blockLines[C Complex](pl *PlanOf[C], buf []C, base, width, stride, n int, inverse bool, tile []C) {
 	for x0 := 0; x0 < width; x0 += lineBlock {
 		b := min(lineBlock, width-x0)
 		for j := 0; j < n; j++ {
@@ -51,47 +52,61 @@ func blockLines(pl *Plan, buf []complex128, base, width, stride, n int, inverse 
 	}
 }
 
-// Plan3 performs separable 3D transforms over a complex buffer laid out like
-// a tensor of the plan's shape (x fastest). A Plan3 is safe for concurrent
-// use.
-type Plan3 struct {
+// Plan3Of performs separable 3D transforms over a complex buffer laid out
+// like a tensor of the plan's shape (x fastest). A Plan3Of is safe for
+// concurrent use.
+type Plan3Of[C Complex] struct {
 	s          tensor.Shape
-	px, py, pz *Plan
-	tilePool   sync.Pool // *[]complex128, lineBlock·max(Y,Z) for blocked lines
+	px, py, pz *PlanOf[C]
+	tilePool   sync.Pool // *[]C, lineBlock·max(Y,Z) for blocked lines
+}
+
+// Plan3 is the double-precision 3D complex plan.
+type Plan3 = Plan3Of[complex128]
+
+// plan3Key identifies a cached 3D plan by shape and precision.
+type plan3Key struct {
+	s   tensor.Shape
+	f32 bool
 }
 
 var (
 	plan3Mu    sync.Mutex
-	plan3Cache = map[tensor.Shape]*Plan3{}
+	plan3Cache = map[plan3Key]any{} // *Plan3Of[C]
 )
 
-// NewPlan3 returns a (cached) 3D plan for the given shape.
-func NewPlan3(s tensor.Shape) *Plan3 {
+// NewPlan3 returns a (cached) complex128 3D plan for the given shape.
+func NewPlan3(s tensor.Shape) *Plan3 { return NewPlan3Of[complex128](s) }
+
+// NewPlan3Of returns a (cached) 3D plan for the given shape at coefficient
+// type C.
+func NewPlan3Of[C Complex](s tensor.Shape) *Plan3Of[C] {
 	if !s.Valid() {
 		panic(fmt.Sprintf("fft: invalid 3D shape %v", s))
 	}
+	key := plan3Key{s, is32[C]()}
 	plan3Mu.Lock()
 	defer plan3Mu.Unlock()
-	if p, ok := plan3Cache[s]; ok {
-		return p
+	if p, ok := plan3Cache[key]; ok {
+		return p.(*Plan3Of[C])
 	}
-	p := &Plan3{
+	p := &Plan3Of[C]{
 		s:  s,
-		px: NewPlan(s.X),
-		py: NewPlan(s.Y),
-		pz: NewPlan(s.Z),
+		px: NewPlanOf[C](s.X),
+		py: NewPlanOf[C](s.Y),
+		pz: NewPlanOf[C](s.Z),
 	}
 	m := lineBlock * max(s.Y, s.Z)
 	p.tilePool.New = func() any {
-		b := make([]complex128, m)
+		b := make([]C, m)
 		return &b
 	}
-	plan3Cache[s] = p
+	plan3Cache[key] = p
 	return p
 }
 
 // Shape returns the transform shape.
-func (p *Plan3) Shape() tensor.Shape { return p.s }
+func (p *Plan3Of[C]) Shape() tensor.Shape { return p.s }
 
 // GoodShape returns the elementwise smallest 5-smooth shape ≥ s.
 func GoodShape(s tensor.Shape) tensor.Shape {
@@ -99,19 +114,16 @@ func GoodShape(s tensor.Shape) tensor.Shape {
 }
 
 // Forward computes the in-place 3D forward DFT of buf.
-func (p *Plan3) Forward(buf []complex128) { p.transform(buf, false) }
+func (p *Plan3Of[C]) Forward(buf []C) { p.transform(buf, false) }
 
 // Inverse computes the in-place 3D inverse DFT of buf including the 1/N
 // normalization (N = volume).
-func (p *Plan3) Inverse(buf []complex128) {
+func (p *Plan3Of[C]) Inverse(buf []C) {
 	p.transform(buf, true)
-	scale := 1 / float64(p.s.Volume())
-	for i := range buf {
-		buf[i] = complex(real(buf[i])*scale, imag(buf[i])*scale)
-	}
+	scaleOf(buf, 1/float64(p.s.Volume()))
 }
 
-func (p *Plan3) transform(buf []complex128, inverse bool) {
+func (p *Plan3Of[C]) transform(buf []C, inverse bool) {
 	s := p.s
 	if len(buf) != s.Volume() {
 		panic(fmt.Sprintf("fft: buffer length %d does not match shape %v", len(buf), s))
@@ -130,7 +142,7 @@ func (p *Plan3) transform(buf []complex128, inverse bool) {
 	if s.Y <= 1 && s.Z <= 1 {
 		return
 	}
-	tp := p.tilePool.Get().(*[]complex128)
+	tp := p.tilePool.Get().(*[]C)
 	tile := *tp
 	// Y lines have stride X, X adjacent columns per z-plane.
 	if s.Y > 1 {
@@ -148,8 +160,10 @@ func (p *Plan3) transform(buf []complex128, inverse bool) {
 }
 
 // LoadReal writes t into the complex buffer buf (laid out with shape s),
-// zero-padding outside t's extent. It panics if t does not fit in s.
-func LoadReal(buf []complex128, s tensor.Shape, t *tensor.Tensor) {
+// zero-padding outside t's extent. It panics if t does not fit in s. The
+// real and complex element types convert independently, so a float64 image
+// can load straight into a complex64 buffer.
+func LoadReal[R tensor.Real, C Complex](buf []C, s tensor.Shape, t *tensor.Vol[R]) {
 	if !t.S.Fits(s) {
 		panic(fmt.Sprintf("fft: tensor %v does not fit in buffer shape %v", t.S, s))
 	}
@@ -161,7 +175,7 @@ func LoadReal(buf []complex128, s tensor.Shape, t *tensor.Tensor) {
 			src := t.Data[t.S.Index(0, y, z):]
 			off := s.Index(0, y, z)
 			for x := 0; x < t.S.X; x++ {
-				buf[off+x] = complex(src[x], 0)
+				buf[off+x] = cmplxOf[C](float64(src[x]), 0)
 			}
 		}
 	}
@@ -169,7 +183,7 @@ func LoadReal(buf []complex128, s tensor.Shape, t *tensor.Tensor) {
 
 // StoreReal extracts the real parts of a sub-volume of buf starting at
 // (ox,oy,oz) into dst.
-func StoreReal(dst *tensor.Tensor, buf []complex128, s tensor.Shape, ox, oy, oz int) {
+func StoreReal[R tensor.Real, C Complex](dst *tensor.Vol[R], buf []C, s tensor.Shape, ox, oy, oz int) {
 	d := dst.S
 	if ox < 0 || oy < 0 || oz < 0 || ox+d.X > s.X || oy+d.Y > s.Y || oz+d.Z > s.Z {
 		panic(fmt.Sprintf("fft: store region %v at (%d,%d,%d) out of range of %v", d, ox, oy, oz, s))
@@ -179,7 +193,7 @@ func StoreReal(dst *tensor.Tensor, buf []complex128, s tensor.Shape, ox, oy, oz 
 			off := s.Index(ox, oy+y, oz+z)
 			row := dst.Data[d.Index(0, y, z):]
 			for x := 0; x < d.X; x++ {
-				row[x] = real(buf[off+x])
+				row[x] = R(real(complex128(buf[off+x])))
 			}
 		}
 	}
@@ -189,9 +203,13 @@ func StoreReal(dst *tensor.Tensor, buf []complex128, s tensor.Shape, ox, oy, oz 
 // It applies equally to full and Hermitian-packed spectra: packing only
 // restricts which coefficients are stored, and the convolution theorem
 // holds pointwise at each of them.
-func MulInto(dst, a, b []complex128) {
+func MulInto[C Complex](dst, a, b []C) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("fft: MulInto length mismatch")
+	}
+	if d64, ok := any(dst).([]complex64); ok {
+		mulInto64(d64, any(a).([]complex64), any(b).([]complex64))
+		return
 	}
 	for i := range dst {
 		dst[i] = a[i] * b[i]
@@ -201,9 +219,13 @@ func MulInto(dst, a, b []complex128) {
 // MulAccInto computes dst[i] += a[i]*b[i] elementwise, the accumulation used
 // when several FFT-domain products converge on one node. Like MulInto it
 // works on full and packed spectra alike.
-func MulAccInto(dst, a, b []complex128) {
+func MulAccInto[C Complex](dst, a, b []C) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("fft: MulAccInto length mismatch")
+	}
+	if d64, ok := any(dst).([]complex64); ok {
+		mulAccInto64(d64, any(a).([]complex64), any(b).([]complex64))
+		return
 	}
 	for i := range dst {
 		dst[i] += a[i] * b[i]

@@ -19,10 +19,11 @@ func PackedShape(s tensor.Shape) tensor.Shape {
 // spectrum of a real transform of shape s: (X/2+1)·Y·Z.
 func PackedVolume(s tensor.Shape) int { return PackedShape(s).Volume() }
 
-// Plan3R performs separable 3D real-to-complex forward and complex-to-real
-// inverse transforms with Hermitian-packed spectra. The packed buffer is
-// laid out like a tensor of shape PackedShape(s): coefficient (kx,ky,kz)
-// with kx ≤ X/2 lives at linear index (kz·Y + ky)·(X/2+1) + kx.
+// Plan3ROf performs separable 3D real-to-complex forward and
+// complex-to-real inverse transforms with Hermitian-packed spectra, generic
+// over the precision pair (R, C). The packed buffer is laid out like a
+// tensor of shape PackedShape(s): coefficient (kx,ky,kz) with kx ≤ X/2
+// lives at linear index (kz·Y + ky)·(X/2+1) + kx.
 //
 // The forward pass fuses the zero-padded load of the real tensor with the
 // r2c X-pass (each real row transforms straight into its packed row), then
@@ -32,92 +33,126 @@ func PackedVolume(s tensor.Shape) int { return PackedShape(s).Volume() }
 // c2r X-pass only to the rows of the requested crop region, fusing the
 // store, crop, and 1/N normalization.
 //
-// A Plan3R is safe for concurrent use.
-type Plan3R struct {
+// A Plan3ROf is safe for concurrent use.
+type Plan3ROf[R tensor.Real, C Complex] struct {
 	s      tensor.Shape // logical real shape
 	ps     tensor.Shape // packed spectrum shape (X/2+1, Y, Z)
-	px     *PlanR
-	py, pz *Plan
+	px     *PlanROf[R, C]
+	py, pz *PlanOf[C]
 
-	tilePool sync.Pool // *[]complex128, lineBlock·max(Y,Z)
-	linePool sync.Pool // *[]float64 of length X, r2c/c2r line scratch
+	tilePool sync.Pool // *[]C, lineBlock·max(Y,Z)
+	linePool sync.Pool // *[]R of length X, r2c/c2r line scratch
+}
+
+// Plan3R is the double-precision packed real-transform plan.
+type Plan3R = Plan3ROf[float64, complex128]
+
+// plan3RKey identifies a cached packed 3D plan by shape and both element
+// types (see planRKey).
+type plan3RKey struct {
+	s        tensor.Shape
+	r32, c32 bool
 }
 
 var (
 	plan3RMu    sync.Mutex
-	plan3RCache = map[tensor.Shape]*Plan3R{}
+	plan3RCache = map[plan3RKey]any{} // *Plan3ROf[R, C]
 )
 
-// NewPlan3R returns a (cached) packed real-transform plan for the given
-// logical shape.
-func NewPlan3R(s tensor.Shape) *Plan3R {
+// NewPlan3R returns a (cached) float64 packed real-transform plan for the
+// given logical shape.
+func NewPlan3R(s tensor.Shape) *Plan3R { return NewPlan3ROf[float64, complex128](s) }
+
+// NewPlan3ROf returns a (cached) packed real-transform plan for the given
+// logical shape at the given precision.
+func NewPlan3ROf[R tensor.Real, C Complex](s tensor.Shape) *Plan3ROf[R, C] {
 	if !s.Valid() {
 		panic(fmt.Sprintf("fft: invalid 3D shape %v", s))
 	}
+	key := plan3RKey{s, isR32[R](), is32[C]()}
 	plan3RMu.Lock()
 	defer plan3RMu.Unlock()
-	if p, ok := plan3RCache[s]; ok {
-		return p
+	if p, ok := plan3RCache[key]; ok {
+		return p.(*Plan3ROf[R, C])
 	}
-	p := &Plan3R{
+	p := &Plan3ROf[R, C]{
 		s:  s,
 		ps: PackedShape(s),
-		px: NewPlanR(s.X),
-		py: NewPlan(s.Y),
-		pz: NewPlan(s.Z),
+		px: NewPlanROf[R, C](s.X),
+		py: NewPlanOf[C](s.Y),
+		pz: NewPlanOf[C](s.Z),
 	}
 	m := lineBlock * max(s.Y, s.Z)
 	p.tilePool.New = func() any {
-		b := make([]complex128, m)
+		b := make([]C, m)
 		return &b
 	}
 	p.linePool.New = func() any {
-		b := make([]float64, s.X)
+		b := make([]R, s.X)
 		return &b
 	}
-	plan3RCache[s] = p
+	plan3RCache[key] = p
 	return p
 }
 
 // Shape returns the logical real transform shape.
-func (p *Plan3R) Shape() tensor.Shape { return p.s }
+func (p *Plan3ROf[R, C]) Shape() tensor.Shape { return p.s }
 
 // PackedLen returns the packed spectrum length (X/2+1)·Y·Z.
-func (p *Plan3R) PackedLen() int { return p.ps.Volume() }
+func (p *Plan3ROf[R, C]) PackedLen() int { return p.ps.Volume() }
 
 // Forward computes the packed spectrum of t zero-padded to the plan shape,
 // writing it into packed (length PackedLen). It panics if t does not fit.
-func (p *Plan3R) Forward(packed []complex128, t *tensor.Tensor) {
+func (p *Plan3ROf[R, C]) Forward(packed []C, t *tensor.Vol[R]) {
+	p.forwardRows(packed, t.S, func(line []R, y, z int) {
+		copy(line[:t.S.X], t.Data[t.S.Index(0, y, z):t.S.Index(0, y, z)+t.S.X])
+	})
+}
+
+// ForwardF64 is Forward with a float64-tensor boundary: each row of t
+// converts to R inside the line copy the X-pass performs anyway, so the
+// reduced-precision pipeline transforms float64 images without
+// materializing a converted copy (the conversion rides the pass for free).
+func (p *Plan3ROf[R, C]) ForwardF64(packed []C, t *tensor.Tensor) {
+	p.forwardRows(packed, t.S, func(line []R, y, z int) {
+		row := t.Data[t.S.Index(0, y, z) : t.S.Index(0, y, z)+t.S.X]
+		for x, v := range row {
+			line[x] = R(v)
+		}
+	})
+}
+
+// forwardRows is the shared forward body: it validates the geometry, zeroes
+// the packed rows outside the source's Y/Z extent (rows inside are fully
+// written by the r2c transform, so a whole-buffer memset would be redundant
+// bandwidth on the hot path), and runs the fused load+X-pass — loadRow
+// fills line[:ts.X] for the (y, z) row; the padding tail of the line is
+// zeroed once up front — followed by the batched Y/Z passes.
+func (p *Plan3ROf[R, C]) forwardRows(packed []C, ts tensor.Shape, loadRow func(line []R, y, z int)) {
 	if len(packed) != p.ps.Volume() {
 		panic(fmt.Sprintf("fft: packed buffer length %d does not match shape %v (want %d)",
 			len(packed), p.s, p.ps.Volume()))
 	}
-	if !t.S.Fits(p.s) {
-		panic(fmt.Sprintf("fft: tensor %v does not fit in transform shape %v", t.S, p.s))
+	if !ts.Fits(p.s) {
+		panic(fmt.Sprintf("fft: tensor %v does not fit in transform shape %v", ts, p.s))
 	}
-	// Zero only the packed rows the X-pass will not overwrite (those
-	// outside t's Y/Z extent); rows inside the extent are fully written
-	// by the r2c transform, so a whole-buffer memset would be redundant
-	// bandwidth on the hot path.
 	xh := p.ps.X
-	if t.S.Y < p.s.Y {
-		for z := 0; z < t.S.Z; z++ {
-			clear(packed[p.ps.Index(0, t.S.Y, z) : (z+1)*p.s.Y*xh])
+	if ts.Y < p.s.Y {
+		for z := 0; z < ts.Z; z++ {
+			clear(packed[p.ps.Index(0, ts.Y, z) : (z+1)*p.s.Y*xh])
 		}
 	}
-	if t.S.Z < p.s.Z {
-		clear(packed[p.ps.Index(0, 0, t.S.Z):])
+	if ts.Z < p.s.Z {
+		clear(packed[p.ps.Index(0, 0, ts.Z):])
 	}
-	// X pass fused with the zero-padded load: each real row of t
-	// transforms directly into its packed row; rows outside t stay zero.
-	lp := p.linePool.Get().(*[]float64)
+	lp := p.linePool.Get().(*[]R)
 	line := *lp
-	for i := t.S.X; i < p.s.X; i++ {
+	for i := ts.X; i < p.s.X; i++ {
 		line[i] = 0
 	}
-	for z := 0; z < t.S.Z; z++ {
-		for y := 0; y < t.S.Y; y++ {
-			copy(line[:t.S.X], t.Data[t.S.Index(0, y, z):t.S.Index(0, y, z)+t.S.X])
+	for z := 0; z < ts.Z; z++ {
+		for y := 0; y < ts.Y; y++ {
+			loadRow(line, y, z)
 			off := p.ps.Index(0, y, z)
 			p.px.Forward(packed[off:off+xh], line)
 		}
@@ -130,29 +165,49 @@ func (p *Plan3R) Forward(packed []complex128, t *tensor.Tensor) {
 // Y/Z, consuming the buffer) and stores the sub-volume of the result
 // starting at (ox,oy,oz) into dst, including the 1/N normalization. The
 // c2r X-pass runs only for the rows of the crop region.
-func (p *Plan3R) Inverse(dst *tensor.Tensor, packed []complex128, ox, oy, oz int) {
+func (p *Plan3ROf[R, C]) Inverse(dst *tensor.Vol[R], packed []C, ox, oy, oz int) {
+	p.inverseRows(dst.S, packed, ox, oy, oz, func(line []R, y, z int) {
+		copy(dst.Data[dst.S.Index(0, y, z):dst.S.Index(0, y, z)+dst.S.X], line[ox:ox+dst.S.X])
+	})
+}
+
+// InverseF64 is Inverse with a float64-tensor boundary: the c2r line
+// results convert to float64 inside the cropped row store, sparing the
+// reduced-precision pipeline an intermediate float32 volume and the extra
+// pass over it.
+func (p *Plan3ROf[R, C]) InverseF64(dst *tensor.Tensor, packed []C, ox, oy, oz int) {
+	p.inverseRows(dst.S, packed, ox, oy, oz, func(line []R, y, z int) {
+		row := dst.Data[dst.S.Index(0, y, z) : dst.S.Index(0, y, z)+dst.S.X]
+		for x := range row {
+			row[x] = float64(line[ox+x])
+		}
+	})
+}
+
+// inverseRows is the shared inverse body: Y/Z passes, then the c2r X-pass
+// over the cropped rows only — storeRow consumes the reconstructed line for
+// the (y, z) row of the crop region. The unapplied 1/(Y·Z) of the unscaled
+// Y/Z passes folds into the per-line butterfly (PlanR's own 1/X is internal
+// to inverseScaled).
+func (p *Plan3ROf[R, C]) inverseRows(ds tensor.Shape, packed []C, ox, oy, oz int, storeRow func(line []R, y, z int)) {
 	if len(packed) != p.ps.Volume() {
 		panic(fmt.Sprintf("fft: packed buffer length %d does not match shape %v (want %d)",
 			len(packed), p.s, p.ps.Volume()))
 	}
-	d := dst.S
-	if ox < 0 || oy < 0 || oz < 0 || ox+d.X > p.s.X || oy+d.Y > p.s.Y || oz+d.Z > p.s.Z {
+	if ox < 0 || oy < 0 || oz < 0 || ox+ds.X > p.s.X || oy+ds.Y > p.s.Y || oz+ds.Z > p.s.Z {
 		panic(fmt.Sprintf("fft: store region %v at (%d,%d,%d) out of range of %v",
-			d, ox, oy, oz, p.s))
+			ds, ox, oy, oz, p.s))
 	}
 	p.complexPasses(packed, true)
-	// c2r X pass over the cropped rows only; the unapplied 1/(Y·Z) of the
-	// unscaled Y/Z passes folds into the per-line butterfly (PlanR's own
-	// 1/X is internal to inverseScaled).
 	scale := 1 / float64(p.s.Y*p.s.Z)
-	lp := p.linePool.Get().(*[]float64)
+	lp := p.linePool.Get().(*[]R)
 	line := *lp
 	xh := p.ps.X
-	for z := 0; z < d.Z; z++ {
-		for y := 0; y < d.Y; y++ {
+	for z := 0; z < ds.Z; z++ {
+		for y := 0; y < ds.Y; y++ {
 			off := p.ps.Index(0, oy+y, oz+z)
 			p.px.inverseScaled(line, packed[off:off+xh], scale)
-			copy(dst.Data[d.Index(0, y, z):d.Index(0, y, z)+d.X], line[ox:ox+d.X])
+			storeRow(line, y, z)
 		}
 	}
 	p.linePool.Put(lp)
@@ -160,11 +215,11 @@ func (p *Plan3R) Inverse(dst *tensor.Tensor, packed []complex128, ox, oy, oz int
 
 // complexPasses runs the batched complex transforms along Y then Z (or Z
 // then Y for the inverse) over the packed columns.
-func (p *Plan3R) complexPasses(packed []complex128, inverse bool) {
+func (p *Plan3ROf[R, C]) complexPasses(packed []C, inverse bool) {
 	if p.s.Y <= 1 && p.s.Z <= 1 {
 		return
 	}
-	tp := p.tilePool.Get().(*[]complex128)
+	tp := p.tilePool.Get().(*[]C)
 	tile := *tp
 	xh := p.ps.X
 	plane := xh * p.s.Y

@@ -242,7 +242,7 @@ func TestBluesteinMatchesMixedRadixOnSmoothSizes(t *testing.T) {
 	x := randComplex(rng, n)
 	viaMixed := append([]complex128(nil), x...)
 	NewPlan(n).Forward(viaMixed)
-	b := newBluestein(n)
+	b := newBluestein[complex128](n)
 	viaBlue := append([]complex128(nil), x...)
 	b.transform(viaBlue, false)
 	if e := maxErr(viaMixed, viaBlue); e > 1e-9 {

@@ -1,0 +1,157 @@
+package fft
+
+// This file holds the complex64 specializations of the transform hot loops.
+//
+// The gc compiler implements the builtin complex64 multiply by promoting
+// both operands through float64 (see go.dev/issue/17518), which makes a
+// complex64 product ~2× slower than a complex128 one and would forfeit the
+// float32 path's entire bandwidth advantage inside the compute-bound
+// butterflies. Spelled out in explicit float32 component arithmetic the
+// same butterflies run at full float32 speed, so the generic entry points
+// dispatch to these kernels when C = complex64. The complex128
+// instantiation keeps the generic code path unchanged.
+
+// mul64 is the promotion-free complex64 product.
+func mul64(a, b complex64) complex64 {
+	ar, ai := real(a), imag(a)
+	br, bi := real(b), imag(b)
+	return complex(ar*br-ai*bi, ar*bi+ai*br)
+}
+
+// rec64 mirrors PlanOf.rec with manual float32 butterflies.
+func rec64(factors []int, pn int, dst, src []complex64, n, stride, fi int, w []complex64) {
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	radix := factors[fi]
+	m := n / radix
+	for j := 0; j < radix; j++ {
+		rec64(factors, pn, dst[j*m:(j+1)*m], src[j*stride:], m, stride*radix, fi+1, w)
+	}
+	step := pn / n
+	stepR := pn / radix
+	switch radix {
+	case 2:
+		for k := 0; k < m; k++ {
+			a := dst[k]
+			b := dst[m+k]
+			t := w[k*step]
+			xr := real(b)*real(t) - imag(b)*imag(t)
+			xi := real(b)*imag(t) + imag(b)*real(t)
+			ar, ai := real(a), imag(a)
+			dst[k] = complex(ar+xr, ai+xi)
+			dst[m+k] = complex(ar-xr, ai-xi)
+		}
+	case 4:
+		neg := w[stepR] // -i forward, +i inverse (to float32 rounding)
+		nr, ni := real(neg), imag(neg)
+		i2, i3 := 0, 0
+		for k := 0; k < m; k++ {
+			a := dst[k]
+			b := mul64(dst[m+k], w[k*step])
+			c := mul64(dst[2*m+k], w[i2])
+			d := mul64(dst[3*m+k], w[i3])
+			apcR, apcI := real(a)+real(c), imag(a)+imag(c)
+			amcR, amcI := real(a)-real(c), imag(a)-imag(c)
+			bpdR, bpdI := real(b)+real(d), imag(b)+imag(d)
+			bmdR, bmdI := real(b)-real(d), imag(b)-imag(d)
+			jr := bmdR*nr - bmdI*ni
+			ji := bmdR*ni + bmdI*nr
+			dst[k] = complex(apcR+bpdR, apcI+bpdI)
+			dst[m+k] = complex(amcR+jr, amcI+ji)
+			dst[2*m+k] = complex(apcR-bpdR, apcI-bpdI)
+			dst[3*m+k] = complex(amcR-jr, amcI-ji)
+			if i2 += 2 * step; i2 >= pn {
+				i2 -= pn
+			}
+			if i3 += 3 * step; i3 >= pn {
+				i3 -= pn
+			}
+		}
+	default:
+		var t [maxRadix]complex64
+		var idx [maxRadix]int // idx[j] = (j·k·step) mod pn
+		for k := 0; k < m; k++ {
+			for j := 0; j < radix; j++ {
+				t[j] = mul64(dst[j*m+k], w[idx[j]])
+			}
+			for q := 0; q < radix; q++ {
+				accR, accI := real(t[0]), imag(t[0])
+				qs := q * stepR // < pn
+				iq := 0         // (j·q·stepR) mod pn
+				for j := 1; j < radix; j++ {
+					x := t[j]
+					if iq += qs; iq >= pn {
+						iq -= pn
+					}
+					tw := w[iq]
+					accR += real(x)*real(tw) - imag(x)*imag(tw)
+					accI += real(x)*imag(tw) + imag(x)*real(tw)
+				}
+				dst[q*m+k] = complex(accR, accI)
+			}
+			for j := 1; j < radix; j++ {
+				if idx[j] += j * step; idx[j] >= pn {
+					idx[j] -= pn
+				}
+			}
+		}
+	}
+}
+
+// scale64 multiplies every element by the real factor s.
+func scale64(data []complex64, s float32) {
+	for i, v := range data {
+		data[i] = complex(real(v)*s, imag(v)*s)
+	}
+}
+
+// mulInto64 is MulInto without the complex64 promotion penalty.
+func mulInto64(dst, a, b []complex64) {
+	for i := range dst {
+		dst[i] = mul64(a[i], b[i])
+	}
+}
+
+// mulAccInto64 is MulAccInto without the promotion penalty.
+func mulAccInto64(dst, a, b []complex64) {
+	for i := range dst {
+		x, y := a[i], b[i]
+		dst[i] += complex(real(x)*real(y)-imag(x)*imag(y),
+			real(x)*imag(y)+imag(x)*real(y))
+	}
+}
+
+// r2cCombine64 is the even-length forward split butterfly of PlanROf at
+// complex64: dst[k] = Fe[k] + w^k·Fo[k] over k = 1..m−1, with the k = 0 and
+// k = m terms handled by the caller.
+func r2cCombine64(dst, z, wf []complex64, m int) {
+	for k := 1; k < m; k++ {
+		a := z[k]
+		b := z[m-k]
+		// conj(b) folds into the component arithmetic.
+		feR, feI := (real(a)+real(b))*0.5, (imag(a)-imag(b))*0.5
+		foR, foI := (imag(a)+imag(b))*0.5, (real(b)-real(a))*0.5
+		t := wf[k]
+		dst[k] = complex(feR+foR*real(t)-foI*imag(t), feI+foR*imag(t)+foI*real(t))
+	}
+}
+
+// c2rPre64 is the even-length inverse pre-pass of PlanROf at complex64:
+// z[k] = (Fe[k] + i·Fo[k])·cs with Fe, Fo reconstructed from the packed
+// half-spectrum src (length m+1) and the split twiddles wf.
+func c2rPre64(z, src, wf []complex64, m int, cs float32) {
+	for k := 0; k < m; k++ {
+		a := src[k]
+		b := src[m-k]
+		// b̄ = conj(b); fe = a + b̄, fo = (a − b̄)·conj(w^k).
+		feR, feI := real(a)+real(b), imag(a)-imag(b)
+		dR, dI := real(a)-real(b), imag(a)+imag(b)
+		t := wf[k]
+		foR := dR*real(t) + dI*imag(t)
+		foI := dI*real(t) - dR*imag(t)
+		// z = (fe + i·fo)·cs
+		z[k] = complex((feR-foI)*cs, (feI+foR)*cs)
+	}
+}

@@ -3,10 +3,14 @@ package fft
 import (
 	"fmt"
 	"sync"
+
+	"znn/internal/tensor"
 )
 
-// PlanR holds the precomputed state for 1D real-to-complex (r2c) forward
-// and complex-to-real (c2r) inverse transforms of a fixed length n.
+// PlanROf holds the precomputed state for 1D real-to-complex (r2c) forward
+// and complex-to-real (c2r) inverse transforms of a fixed length n, generic
+// over the float type R and its matching complex type C (float64/complex128
+// or float32/complex64).
 //
 // A real signal's DFT is Hermitian-symmetric, F[k] = conj(F[n−k]), so only
 // the first n/2+1 coefficients (k = 0 .. ⌊n/2⌋) are computed and stored —
@@ -18,85 +22,100 @@ import (
 // keep only the packed half, so packing still halves downstream memory and
 // pointwise work even when the transform itself saves nothing.
 //
-// Plans are cached and safe for concurrent use.
-type PlanR struct {
+// Plans are cached per (length, precision) and safe for concurrent use.
+type PlanROf[R tensor.Real, C Complex] struct {
 	n    int
-	half *Plan        // length n/2 complex plan (even n ≥ 2)
-	full *Plan        // length n complex plan (odd n fallback)
-	wf   []complex128 // split twiddles exp(−2πik/n), k = 0 .. n/2 (even n)
+	half *PlanOf[C] // length n/2 complex plan (even n ≥ 2)
+	full *PlanOf[C] // length n complex plan (odd n fallback)
+	wf   []C        // split twiddles exp(−2πik/n), k = 0 .. n/2 (even n)
 
-	scratch sync.Pool // *[]complex128 of length n/2 (even) or n (odd)
+	scratch sync.Pool // *[]C of length n/2 (even) or n (odd)
+}
+
+// PlanR is the double-precision real-transform plan.
+type PlanR = PlanROf[float64, complex128]
+
+// planRKey identifies a cached real plan: both type parameters are free in
+// the generic signature, so mismatched-but-legal pairings like
+// (float32, complex128) must not collide with the canonical ones.
+type planRKey struct {
+	n        int
+	r32, c32 bool
 }
 
 var (
 	planRMu    sync.Mutex
-	planRCache = map[int]*PlanR{}
+	planRCache = map[planRKey]any{} // *PlanROf[R, C]
 )
 
-// NewPlanR returns a (cached) real-transform plan for length n. It panics
-// for n < 1.
-func NewPlanR(n int) *PlanR {
+// NewPlanR returns a (cached) float64 real-transform plan for length n.
+func NewPlanR(n int) *PlanR { return NewPlanROf[float64, complex128](n) }
+
+// NewPlanROf returns a (cached) real-transform plan for length n at the
+// given precision. It panics for n < 1.
+func NewPlanROf[R tensor.Real, C Complex](n int) *PlanROf[R, C] {
 	if n < 1 {
 		panic(fmt.Sprintf("fft: invalid transform length %d", n))
 	}
+	key := planRKey{n, isR32[R](), is32[C]()}
 	planRMu.Lock()
-	if p, ok := planRCache[n]; ok {
+	if p, ok := planRCache[key]; ok {
 		planRMu.Unlock()
-		return p
+		return p.(*PlanROf[R, C])
 	}
 	planRMu.Unlock()
-	p := newPlanRUncached(n)
+	p := newPlanRUncached[R, C](n)
 	planRMu.Lock()
 	defer planRMu.Unlock()
-	if q, ok := planRCache[n]; ok {
-		return q
+	if q, ok := planRCache[key]; ok {
+		return q.(*PlanROf[R, C])
 	}
-	planRCache[n] = p
+	planRCache[key] = p
 	return p
 }
 
-func newPlanRUncached(n int) *PlanR {
-	p := &PlanR{n: n}
+func newPlanRUncached[R tensor.Real, C Complex](n int) *PlanROf[R, C] {
+	p := &PlanROf[R, C]{n: n}
 	scratchLen := n
 	if n > 1 && n%2 == 0 {
-		p.half = NewPlan(n / 2)
-		p.wf = Twiddle(n)[: n/2+1 : n/2+1]
+		p.half = NewPlanOf[C](n / 2)
+		p.wf = twiddlesOf[C](n, -1)[: n/2+1 : n/2+1]
 		scratchLen = n / 2
 	} else if n > 1 {
-		p.full = NewPlan(n)
+		p.full = NewPlanOf[C](n)
 	}
 	p.scratch.New = func() any {
-		s := make([]complex128, scratchLen)
+		s := make([]C, scratchLen)
 		return &s
 	}
 	return p
 }
 
 // Len returns the real transform length n.
-func (p *PlanR) Len() int { return p.n }
+func (p *PlanROf[R, C]) Len() int { return p.n }
 
 // HalfLen returns the packed spectrum length n/2+1.
-func (p *PlanR) HalfLen() int { return p.n/2 + 1 }
+func (p *PlanROf[R, C]) HalfLen() int { return p.n/2 + 1 }
 
 // Forward computes the packed half-spectrum of the real signal src:
 // dst[k] = Σ_t src[t]·exp(−2πi t k/n) for k = 0 .. n/2. len(src) must be n
 // and len(dst) must be n/2+1. The remaining coefficients are implied by
 // Hermitian symmetry F[n−k] = conj(F[k]).
-func (p *PlanR) Forward(dst []complex128, src []float64) {
+func (p *PlanROf[R, C]) Forward(dst []C, src []R) {
 	if len(src) != p.n || len(dst) != p.HalfLen() {
 		panic(fmt.Sprintf("fft: r2c lengths src %d dst %d, want %d and %d",
 			len(src), len(dst), p.n, p.HalfLen()))
 	}
 	if p.n == 1 {
-		dst[0] = complex(src[0], 0)
+		dst[0] = cmplxOf[C](float64(src[0]), 0)
 		return
 	}
-	sp := p.scratch.Get().(*[]complex128)
+	sp := p.scratch.Get().(*[]C)
 	z := *sp
 	defer p.scratch.Put(sp)
 	if p.full != nil { // odd length: full complex transform, keep half
 		for j, v := range src {
-			z[j] = complex(v, 0)
+			z[j] = cmplxOf[C](float64(v), 0)
 		}
 		p.full.Forward(z)
 		copy(dst, z[:p.HalfLen()])
@@ -109,17 +128,23 @@ func (p *PlanR) Forward(dst []complex128, src []float64) {
 	//   F[k]  = Fe[k] + w^k·Fo[k],  w = exp(−2πi/n).
 	m := p.n / 2
 	for j := 0; j < m; j++ {
-		z[j] = complex(src[2*j], src[2*j+1])
+		z[j] = cmplxOf[C](float64(src[2*j]), float64(src[2*j+1]))
 	}
 	p.half.Forward(z)
-	z0 := z[0]
-	dst[0] = complex(real(z0)+imag(z0), 0)
-	dst[m] = complex(real(z0)-imag(z0), 0)
+	z0 := complex128(z[0])
+	dst[0] = cmplxOf[C](real(z0)+imag(z0), 0)
+	dst[m] = cmplxOf[C](real(z0)-imag(z0), 0)
+	if d64, ok := any(dst).([]complex64); ok {
+		r2cCombine64(d64, any(z).([]complex64), any(p.wf).([]complex64), m)
+		return
+	}
+	half := cmplxOf[C](0.5, 0)
+	negHalfI := cmplxOf[C](0, -0.5)
 	for k := 1; k < m; k++ {
 		a := z[k]
-		b := cmplxConj(z[m-k])
-		fe := (a + b) * complex(0.5, 0)
-		fo := (a - b) * complex(0, -0.5)
+		b := conjOf(z[m-k])
+		fe := (a + b) * half
+		fo := (a - b) * negHalfI
 		dst[k] = fe + p.wf[k]*fo
 	}
 }
@@ -127,37 +152,37 @@ func (p *PlanR) Forward(dst []complex128, src []float64) {
 // Inverse reconstructs the real signal from its packed half-spectrum,
 // including the 1/n normalization. len(src) must be n/2+1 and len(dst)
 // must be n.
-func (p *PlanR) Inverse(dst []float64, src []complex128) {
+func (p *PlanROf[R, C]) Inverse(dst []R, src []C) {
 	p.inverseScaled(dst, src, 1)
 }
 
 // inverseScaled computes the c2r inverse with an extra output scale factor
 // folded into the O(n) pre-pass (so multi-dimensional callers can apply
 // their remaining normalization for free).
-func (p *PlanR) inverseScaled(dst []float64, src []complex128, scale float64) {
+func (p *PlanROf[R, C]) inverseScaled(dst []R, src []C, scale float64) {
 	if len(dst) != p.n || len(src) != p.HalfLen() {
 		panic(fmt.Sprintf("fft: c2r lengths src %d dst %d, want %d and %d",
 			len(src), len(dst), p.HalfLen(), p.n))
 	}
 	if p.n == 1 {
-		dst[0] = real(src[0]) * scale
+		dst[0] = R(real(complex128(src[0])) * scale)
 		return
 	}
-	sp := p.scratch.Get().(*[]complex128)
+	sp := p.scratch.Get().(*[]C)
 	z := *sp
 	defer p.scratch.Put(sp)
 	if p.full != nil { // odd length: rebuild the full Hermitian spectrum
-		c := complex(scale/float64(p.n), 0)
+		c := cmplxOf[C](scale/float64(p.n), 0)
 		h := p.HalfLen()
 		z[0] = src[0] * c
 		for k := 1; k < h; k++ {
 			v := src[k] * c
 			z[k] = v
-			z[p.n-k] = cmplxConj(v)
+			z[p.n-k] = conjOf(v)
 		}
 		p.full.InverseUnscaled(z)
 		for j := range dst {
-			dst[j] = real(z[j])
+			dst[j] = R(real(complex128(z[j])))
 		}
 		return
 	}
@@ -168,17 +193,24 @@ func (p *PlanR) inverseScaled(dst []float64, src []complex128, scale float64) {
 	// then a length-m inverse yields x[2j] + i·x[2j+1]. The 1/m and the
 	// caller's scale fold into the butterfly constant.
 	m := p.n / 2
-	cs := complex(0.5*scale/float64(m), 0)
-	for k := 0; k < m; k++ {
-		a := src[k]
-		b := cmplxConj(src[m-k])
-		fe := a + b
-		fo := (a - b) * cmplxConj(p.wf[k])
-		z[k] = (fe + fo*complex(0, 1)) * cs
+	if z64, ok := any(z).([]complex64); ok {
+		c2rPre64(z64, any(src).([]complex64), any(p.wf).([]complex64), m,
+			float32(0.5*scale/float64(m)))
+	} else {
+		cs := cmplxOf[C](0.5*scale/float64(m), 0)
+		posI := cmplxOf[C](0, 1)
+		for k := 0; k < m; k++ {
+			a := src[k]
+			b := conjOf(src[m-k])
+			fe := a + b
+			fo := (a - b) * conjOf(p.wf[k])
+			z[k] = (fe + fo*posI) * cs
+		}
 	}
 	p.half.InverseUnscaled(z)
 	for j := 0; j < m; j++ {
-		dst[2*j] = real(z[j])
-		dst[2*j+1] = imag(z[j])
+		zj := complex128(z[j])
+		dst[2*j] = R(real(zj))
+		dst[2*j+1] = R(imag(zj))
 	}
 }

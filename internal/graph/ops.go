@@ -64,13 +64,23 @@ type ConvOp struct {
 }
 
 // NewConvOp builds a convolution op for the given input shape, kernel and
-// sparsity, using the given method and memoization setting.
+// sparsity, using the given method and memoization setting, at the default
+// float64 precision.
 func NewConvOp(in tensor.Shape, kernel *tensor.Tensor, sp tensor.Sparsity,
 	method conv.Method, memoize bool, counters *conv.Counters) *ConvOp {
+	return NewConvOpPrec(in, kernel, sp, method, conv.PrecF64, memoize, counters)
+}
+
+// NewConvOpPrec is NewConvOp with an explicit spectral precision, so graphs
+// built for the float32 path execute at that precision even outside a
+// train.Engine (the engine's Config.Precision remains authoritative when
+// one compiles the graph).
+func NewConvOpPrec(in tensor.Shape, kernel *tensor.Tensor, sp tensor.Sparsity,
+	method conv.Method, prec conv.Precision, memoize bool, counters *conv.Counters) *ConvOp {
 	return &ConvOp{
 		Kernel: kernel,
 		Sp:     sp,
-		Tr:     conv.NewTransformer(in, kernel.S, sp, method, memoize, counters),
+		Tr:     conv.NewTransformerPrec(in, kernel.S, sp, method, prec, memoize, counters),
 	}
 }
 

@@ -4,10 +4,14 @@
 // The paper maintains 32 global pools of memory chunks, pool i holding
 // chunks of 2^i bytes, with lock-free queues for the free lists; memory is
 // never returned to the system, trading at most a 2x space overhead for
-// allocation speed. This package reproduces that design for float64 and
-// complex128 buffers: requests round up to the next power of two and free
-// lists are lock-free Treiber stacks (Go's GC eliminates the ABA hazard the
-// original's boost::lockfree queues must guard against).
+// allocation speed. This package reproduces that design with one generic
+// size-classed pool, Pool[T], instantiated per element type of the
+// dtype-parameterized pipeline — float64 images plus complex128 and
+// complex64 spectra (images stay float64 end to end; the float32 path
+// converts inside the fft line passes): requests round up to the next
+// power of two and free lists are lock-free Treiber stacks (Go's GC
+// eliminates the ABA hazard the original's boost::lockfree queues must
+// guard against).
 package mempool
 
 import (
@@ -17,6 +21,13 @@ import (
 
 // numClasses mirrors the paper's 32 power-of-two pools.
 const numClasses = 32
+
+// Element is the constraint on pooled slice element types: exactly the
+// four builtin types (no ~), because byte accounting identifies the
+// element size by type assertion.
+type Element interface {
+	float32 | float64 | complex64 | complex128
+}
 
 // Stats reports allocator behaviour for the pool benchmarks (experiment E13).
 type Stats struct {
@@ -28,18 +39,23 @@ type Stats struct {
 	PoolBytes     int64 // bytes parked in free lists
 }
 
-// Float64Pool is a size-classed pool of []float64 chunks.
-type Float64Pool struct {
-	classes [numClasses]stack[[]float64]
+// Pool is a size-classed pool of []T chunks.
+type Pool[T Element] struct {
+	classes [numClasses]stack[[]T]
 	stats   statCounters
 }
 
+// Float64Pool is a size-classed pool of []float64 chunks.
+type Float64Pool = Pool[float64]
+
 // Complex128Pool is a size-classed pool of []complex128 chunks (used for
 // FFT work buffers).
-type Complex128Pool struct {
-	classes [numClasses]stack[[]complex128]
-	stats   statCounters
-}
+type Complex128Pool = Pool[complex128]
+
+// Complex64Pool is a size-classed pool of []complex64 chunks (Hermitian-
+// packed float32 spectra — same coefficient counts as Complex128Pool at
+// half the bytes).
+type Complex64Pool = Pool[complex64]
 
 type statCounters struct {
 	hits, misses, puts atomic.Int64
@@ -51,8 +67,8 @@ type statCounters struct {
 // grow adds delta (> 0) to the live-byte gauge and ratchets the high-water
 // mark. The peak is what sizes real deployments — the allocator never
 // returns memory to the system, so peak live bytes is the steady-state
-// footprint of the spectra working set (and the number the packed r2c
-// pipeline halves).
+// footprint of the spectra working set (the number the packed r2c pipeline
+// halved, and the float32 path halves again).
 func (c *statCounters) grow(delta int64) {
 	v := c.liveBytes.Add(delta)
 	for {
@@ -89,19 +105,32 @@ func classFor(n int) int {
 	return bits.Len(uint(n - 1))
 }
 
+// elemBytes returns the size of one element of type T.
+func elemBytes[T Element]() int64 {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return 4
+	case float64, complex64:
+		return 8
+	default: // complex128
+		return 16
+	}
+}
+
 // Get returns a zeroed slice of length n backed by a chunk of capacity
 // 2^class. The chunk may be reused; contents are always cleared before
 // return so callers can rely on zero initialization exactly as with make.
-func (p *Float64Pool) Get(n int) []float64 {
+func (p *Pool[T]) Get(n int) []T {
 	if n == 0 {
 		return nil
 	}
 	cls := classFor(n)
 	cap := 1 << cls
-	p.stats.grow(int64(cap) * 8)
+	p.stats.grow(int64(cap) * elemBytes[T]())
 	if buf, ok := p.classes[cls].pop(); ok {
 		p.stats.hits.Add(1)
-		p.stats.poolBytes.Add(-int64(cap) * 8)
+		p.stats.poolBytes.Add(-int64(cap) * elemBytes[T]())
 		buf = buf[:n]
 		for i := range buf {
 			buf[i] = 0
@@ -109,13 +138,13 @@ func (p *Float64Pool) Get(n int) []float64 {
 		return buf
 	}
 	p.stats.misses.Add(1)
-	return make([]float64, n, cap)
+	return make([]T, n, cap)
 }
 
 // Put returns a chunk to the pool. The slice must have been obtained from
 // Get (its capacity must be a power of two); Put never returns memory to
 // the runtime, matching the paper's allocator.
-func (p *Float64Pool) Put(buf []float64) {
+func (p *Pool[T]) Put(buf []T) {
 	if cap(buf) == 0 {
 		return
 	}
@@ -124,60 +153,17 @@ func (p *Float64Pool) Put(buf []float64) {
 		panic("mempool: Put of slice with non-power-of-two capacity")
 	}
 	p.stats.puts.Add(1)
-	p.stats.liveBytes.Add(-int64(cap(buf)) * 8)
-	p.stats.poolBytes.Add(int64(cap(buf)) * 8)
+	p.stats.liveBytes.Add(-int64(cap(buf)) * elemBytes[T]())
+	p.stats.poolBytes.Add(int64(cap(buf)) * elemBytes[T]())
 	p.classes[cls].push(buf[:cap(buf)])
 }
 
 // Stats returns a snapshot of the allocator counters.
-func (p *Float64Pool) Stats() Stats { return p.stats.snapshot() }
+func (p *Pool[T]) Stats() Stats { return p.stats.snapshot() }
 
 // ResetPeak restarts the PeakLiveBytes high-water mark from the current
 // live level.
-func (p *Float64Pool) ResetPeak() { p.stats.resetPeak() }
-
-// Get returns a zeroed []complex128 of length n, reusing pooled chunks.
-func (p *Complex128Pool) Get(n int) []complex128 {
-	if n == 0 {
-		return nil
-	}
-	cls := classFor(n)
-	cap := 1 << cls
-	p.stats.grow(int64(cap) * 16)
-	if buf, ok := p.classes[cls].pop(); ok {
-		p.stats.hits.Add(1)
-		p.stats.poolBytes.Add(-int64(cap) * 16)
-		buf = buf[:n]
-		for i := range buf {
-			buf[i] = 0
-		}
-		return buf
-	}
-	p.stats.misses.Add(1)
-	return make([]complex128, n, cap)
-}
-
-// Put returns a chunk to the pool.
-func (p *Complex128Pool) Put(buf []complex128) {
-	if cap(buf) == 0 {
-		return
-	}
-	cls := classFor(cap(buf))
-	if 1<<cls != cap(buf) {
-		panic("mempool: Put of slice with non-power-of-two capacity")
-	}
-	p.stats.puts.Add(1)
-	p.stats.liveBytes.Add(-int64(cap(buf)) * 16)
-	p.stats.poolBytes.Add(int64(cap(buf)) * 16)
-	p.classes[cls].push(buf[:cap(buf)])
-}
-
-// Stats returns a snapshot of the allocator counters.
-func (p *Complex128Pool) Stats() Stats { return p.stats.snapshot() }
-
-// ResetPeak restarts the PeakLiveBytes high-water mark from the current
-// live level.
-func (p *Complex128Pool) ResetPeak() { p.stats.resetPeak() }
+func (p *Pool[T]) ResetPeak() { p.stats.resetPeak() }
 
 // stack is a lock-free Treiber stack. Nodes are heap-allocated per push;
 // the garbage collector reclaims them, which also removes the ABA problem.
@@ -216,8 +202,13 @@ func (s *stack[T]) pop() (T, bool) {
 
 // Default pools shared by the runtime, mirroring the paper's two global
 // allocators (one for large 3D images, one for small auxiliary buffers —
-// here the split is by element type instead of alignment).
+// here the split is by element type instead of alignment). The two spectra
+// pools — one per precision — keep the float32 path's footprint measurable
+// independently of the float64 one; images stay float64 end to end (the
+// reduced-precision path converts inside the transform line passes, so no
+// float32 image pool is needed).
 var (
-	Images  Float64Pool
-	Spectra Complex128Pool
+	Images    Float64Pool
+	Spectra   Complex128Pool
+	Spectra32 Complex64Pool
 )

@@ -163,7 +163,8 @@ func Build(spec Spec, o BuildOptions) (*Network, error) {
 				next[j] = g.AddNode(fmt.Sprintf("L%d/conv/%d", li, j), outShape)
 				for _, u := range cur {
 					kernel := graph.InitKernel(rng, k, len(cur))
-					op := graph.NewConvOp(shape, kernel, sp, method, o.Memoize, o.Counters)
+					op := graph.NewConvOpPrec(shape, kernel, sp, method, o.Tuner.Precision,
+						o.Memoize, o.Counters)
 					g.Connect(u, next[j], op)
 					layerOps = append(layerOps, op)
 				}

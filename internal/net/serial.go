@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"znn/internal/conv"
+	"znn/internal/fft"
 	"znn/internal/graph"
-	"znn/internal/mempool"
 	"znn/internal/ops"
 	"znn/internal/tensor"
 )
@@ -58,17 +58,15 @@ func (nw *Network) forwardSerial(inputs []*tensor.Tensor) ([]*tensor.Tensor, err
 		}
 		var sum *tensor.Tensor
 		if len(n.In) > 1 && graph.SpectralEligible(n.In) {
-			var spec []complex128
+			var spec fft.Spectrum
 			for _, e := range n.In {
 				op := e.Op.(*graph.ConvOp)
 				prod := op.Tr.ForwardProduct(imgs[e.From.ID], op.Kernel, &caches[e.From.ID])
-				if spec == nil {
+				if spec.IsNil() {
 					spec = prod
 				} else {
-					for i := range spec {
-						spec[i] += prod[i]
-					}
-					mempool.Spectra.Put(prod)
+					spec.Add(prod)
+					prod.Release()
 				}
 			}
 			sum = n.In[0].Op.(*graph.ConvOp).Tr.FinishForward(spec)
@@ -130,7 +128,7 @@ func (nw *Network) RoundSerial(inputs, desired []*tensor.Tensor, loss ops.Loss, 
 			continue
 		}
 		spectral := len(u.Out) > 1 && graph.SpectralEligible(u.Out)
-		var spec []complex128
+		var spec fft.Spectrum
 		for _, e := range u.Out {
 			g := bwd[e.To.ID]
 			if g == nil {
@@ -139,13 +137,11 @@ func (nw *Network) RoundSerial(inputs, desired []*tensor.Tensor, loss ops.Loss, 
 			if spectral {
 				op := e.Op.(*graph.ConvOp)
 				prod := op.Tr.BackwardProduct(g, op.Kernel, &bwdCaches[e.To.ID])
-				if spec == nil {
+				if spec.IsNil() {
 					spec = prod
 				} else {
-					for j := range spec {
-						spec[j] += prod[j]
-					}
-					mempool.Spectra.Put(prod)
+					spec.Add(prod)
+					prod.Release()
 				}
 			} else {
 				out := e.Op.Backward(g, &graph.BwdCtx{Spectra: &bwdCaches[e.To.ID]})

@@ -6,7 +6,7 @@ import (
 )
 
 // Add accumulates src into t elementwise. Shapes must match.
-func (t *Tensor) Add(src *Tensor) {
+func (t *Vol[T]) Add(src *Vol[T]) {
 	if t.S != src.S {
 		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", t.S, src.S))
 	}
@@ -16,7 +16,7 @@ func (t *Tensor) Add(src *Tensor) {
 }
 
 // Sub subtracts src from t elementwise. Shapes must match.
-func (t *Tensor) Sub(src *Tensor) {
+func (t *Vol[T]) Sub(src *Vol[T]) {
 	if t.S != src.S {
 		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", t.S, src.S))
 	}
@@ -26,7 +26,7 @@ func (t *Tensor) Sub(src *Tensor) {
 }
 
 // MulElem multiplies t by src elementwise (Hadamard product).
-func (t *Tensor) MulElem(src *Tensor) {
+func (t *Vol[T]) MulElem(src *Vol[T]) {
 	if t.S != src.S {
 		panic(fmt.Sprintf("tensor: MulElem shape mismatch %v vs %v", t.S, src.S))
 	}
@@ -36,59 +36,64 @@ func (t *Tensor) MulElem(src *Tensor) {
 }
 
 // Scale multiplies every voxel by c.
-func (t *Tensor) Scale(c float64) {
+func (t *Vol[T]) Scale(c float64) {
+	cc := T(c)
 	for i := range t.Data {
-		t.Data[i] *= c
+		t.Data[i] *= cc
 	}
 }
 
 // AddScalar adds c to every voxel (used by the bias part of transfer
 // functions).
-func (t *Tensor) AddScalar(c float64) {
+func (t *Vol[T]) AddScalar(c float64) {
+	cc := T(c)
 	for i := range t.Data {
-		t.Data[i] += c
+		t.Data[i] += cc
 	}
 }
 
 // Axpy computes t += a*x, the fused update used by SGD weight steps.
-func (t *Tensor) Axpy(a float64, x *Tensor) {
+func (t *Vol[T]) Axpy(a float64, x *Vol[T]) {
 	if t.S != x.S {
 		panic(fmt.Sprintf("tensor: Axpy shape mismatch %v vs %v", t.S, x.S))
 	}
+	aa := T(a)
 	for i, v := range x.Data {
-		t.Data[i] += a * v
+		t.Data[i] += aa * v
 	}
 }
 
-// Sum returns the sum of all voxels (used by the bias gradient).
-func (t *Tensor) Sum() float64 {
+// Sum returns the sum of all voxels (used by the bias gradient). The
+// accumulation runs in float64 regardless of the element type.
+func (t *Vol[T]) Sum() float64 {
 	var s float64
 	for _, v := range t.Data {
-		s += v
+		s += float64(v)
 	}
 	return s
 }
 
-// Dot returns the inner product of two tensors of identical shape.
-func (t *Tensor) Dot(u *Tensor) float64 {
+// Dot returns the inner product of two tensors of identical shape,
+// accumulated in float64.
+func (t *Vol[T]) Dot(u *Vol[T]) float64 {
 	if t.S != u.S {
 		panic(fmt.Sprintf("tensor: Dot shape mismatch %v vs %v", t.S, u.S))
 	}
 	var s float64
 	for i, v := range t.Data {
-		s += v * u.Data[i]
+		s += float64(v) * float64(u.Data[i])
 	}
 	return s
 }
 
 // Norm2 returns the Euclidean norm of the tensor viewed as a vector.
-func (t *Tensor) Norm2() float64 { return math.Sqrt(t.Dot(t)) }
+func (t *Vol[T]) Norm2() float64 { return math.Sqrt(t.Dot(t)) }
 
 // MaxAbs returns the largest absolute voxel value.
-func (t *Tensor) MaxAbs() float64 {
+func (t *Vol[T]) MaxAbs() float64 {
 	var m float64
 	for _, v := range t.Data {
-		if a := math.Abs(v); a > m {
+		if a := math.Abs(float64(v)); a > m {
 			m = a
 		}
 	}
@@ -98,8 +103,8 @@ func (t *Tensor) MaxAbs() float64 {
 // Reflect returns a new tensor reversed along all three dimensions.
 // Backward convolution uses the reflected kernel; the kernel gradient uses
 // the reflected forward image (Section III of the paper).
-func (t *Tensor) Reflect() *Tensor {
-	r := New(t.S)
+func (t *Vol[T]) Reflect() *Vol[T] {
+	r := NewOf[T](t.S)
 	n := len(t.Data)
 	for i, v := range t.Data {
 		r.Data[n-1-i] = v
@@ -110,7 +115,7 @@ func (t *Tensor) Reflect() *Tensor {
 // ReflectInto writes the reflection of t into dst, which must have the same
 // shape. Reversing the flat data reverses each axis because the layout is a
 // full row-major order.
-func (t *Tensor) ReflectInto(dst *Tensor) {
+func (t *Vol[T]) ReflectInto(dst *Vol[T]) {
 	if dst.S != t.S {
 		panic(fmt.Sprintf("tensor: ReflectInto shape mismatch %v vs %v", dst.S, t.S))
 	}
@@ -123,18 +128,18 @@ func (t *Tensor) ReflectInto(dst *Tensor) {
 // PadTo returns a new tensor of the given (elementwise larger or equal)
 // shape with t copied into the corner at the origin and zeros elsewhere.
 // FFT convolution zero-pads operands this way.
-func (t *Tensor) PadTo(s Shape) *Tensor {
+func (t *Vol[T]) PadTo(s Shape) *Vol[T] {
 	if !t.S.Fits(s) {
 		panic(fmt.Sprintf("tensor: cannot pad %v to smaller shape %v", t.S, s))
 	}
-	p := New(s)
+	p := NewOf[T](s)
 	t.CopyIntoAt(p, 0, 0, 0)
 	return p
 }
 
 // CopyIntoAt copies t into dst with t's origin placed at (ox, oy, oz) in
 // dst. The region must fit.
-func (t *Tensor) CopyIntoAt(dst *Tensor, ox, oy, oz int) {
+func (t *Vol[T]) CopyIntoAt(dst *Vol[T], ox, oy, oz int) {
 	if ox < 0 || oy < 0 || oz < 0 ||
 		ox+t.S.X > dst.S.X || oy+t.S.Y > dst.S.Y || oz+t.S.Z > dst.S.Z {
 		panic(fmt.Sprintf("tensor: CopyIntoAt %v at (%d,%d,%d) does not fit in %v",
@@ -151,14 +156,14 @@ func (t *Tensor) CopyIntoAt(dst *Tensor, ox, oy, oz int) {
 
 // CropFrom returns a new tensor of shape s copied out of t starting at
 // offset (ox, oy, oz).
-func (t *Tensor) CropFrom(ox, oy, oz int, s Shape) *Tensor {
-	c := New(s)
+func (t *Vol[T]) CropFrom(ox, oy, oz int, s Shape) *Vol[T] {
+	c := NewOf[T](s)
 	t.CropInto(c, ox, oy, oz)
 	return c
 }
 
 // CropInto fills dst with the sub-volume of t starting at (ox, oy, oz).
-func (t *Tensor) CropInto(dst *Tensor, ox, oy, oz int) {
+func (t *Vol[T]) CropInto(dst *Vol[T], ox, oy, oz int) {
 	s := dst.S
 	if ox < 0 || oy < 0 || oz < 0 ||
 		ox+s.X > t.S.X || oy+s.Y > t.S.Y || oz+s.Z > t.S.Z {
@@ -178,7 +183,7 @@ func (t *Tensor) CropInto(dst *Tensor, ox, oy, oz int) {
 // sparsity: output shape is the FullConv-style expansion
 // (n−1)·s + 1 per axis, with t's voxel (x,y,z) stored at (x·sx, y·sy, z·sz)
 // and zeros elsewhere. FFT-based sparse convolution dilates the kernel.
-func (t *Tensor) Dilate(sp Sparsity) *Tensor {
+func (t *Vol[T]) Dilate(sp Sparsity) *Vol[T] {
 	if sp == Dense() {
 		return t.Clone()
 	}
@@ -187,7 +192,7 @@ func (t *Tensor) Dilate(sp Sparsity) *Tensor {
 		(t.S.Y-1)*sp.Y + 1,
 		(t.S.Z-1)*sp.Z + 1,
 	}
-	d := New(s)
+	d := NewOf[T](s)
 	for z := 0; z < t.S.Z; z++ {
 		for y := 0; y < t.S.Y; y++ {
 			for x := 0; x < t.S.X; x++ {
@@ -200,8 +205,8 @@ func (t *Tensor) Dilate(sp Sparsity) *Tensor {
 
 // Subsample extracts every sp-th voxel starting at the given offset,
 // producing a tensor of the given shape. It is the adjoint of Dilate.
-func (t *Tensor) Subsample(ox, oy, oz int, sp Sparsity, s Shape) *Tensor {
-	r := New(s)
+func (t *Vol[T]) Subsample(ox, oy, oz int, sp Sparsity, s Shape) *Vol[T] {
+	r := NewOf[T](s)
 	for z := 0; z < s.Z; z++ {
 		for y := 0; y < s.Y; y++ {
 			for x := 0; x < s.X; x++ {

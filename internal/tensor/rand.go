@@ -5,28 +5,36 @@ import "math/rand"
 // FillUniform fills t with samples drawn uniformly from [lo, hi) using rng.
 // All stochastic initialization in the library goes through explicit
 // *rand.Rand instances so experiments are reproducible.
-func (t *Tensor) FillUniform(rng *rand.Rand, lo, hi float64) {
+func (t *Vol[T]) FillUniform(rng *rand.Rand, lo, hi float64) {
 	span := hi - lo
 	for i := range t.Data {
-		t.Data[i] = lo + span*rng.Float64()
+		t.Data[i] = T(lo + span*rng.Float64())
 	}
 }
 
 // FillNormal fills t with N(mean, stddev²) samples from rng.
-func (t *Tensor) FillNormal(rng *rand.Rand, mean, stddev float64) {
+func (t *Vol[T]) FillNormal(rng *rand.Rand, mean, stddev float64) {
 	for i := range t.Data {
-		t.Data[i] = mean + stddev*rng.NormFloat64()
+		t.Data[i] = T(mean + stddev*rng.NormFloat64())
 	}
 }
 
-// RandomUniform allocates a tensor filled with uniform samples.
+// RandomUniform allocates a float64 tensor filled with uniform samples.
 func RandomUniform(rng *rand.Rand, s Shape, lo, hi float64) *Tensor {
 	t := New(s)
 	t.FillUniform(rng, lo, hi)
 	return t
 }
 
-// RandomNormal allocates a tensor filled with Gaussian samples.
+// RandomUniformOf allocates a tensor of element type T filled with uniform
+// samples.
+func RandomUniformOf[T Real](rng *rand.Rand, s Shape, lo, hi float64) *Vol[T] {
+	t := NewOf[T](s)
+	t.FillUniform(rng, lo, hi)
+	return t
+}
+
+// RandomNormal allocates a float64 tensor filled with Gaussian samples.
 func RandomNormal(rng *rand.Rand, s Shape, mean, stddev float64) *Tensor {
 	t := New(s)
 	t.FillNormal(rng, mean, stddev)

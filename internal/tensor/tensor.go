@@ -1,15 +1,29 @@
 // Package tensor provides the dense 3D image substrate used throughout ZNN.
 //
-// A Tensor is a contiguous float64 volume indexed as (x, y, z) with x the
-// fastest-varying dimension: Data[(z*S.Y+y)*S.X+x]. Two-dimensional images
-// are the special case Z == 1 (the paper treats 2D ConvNets as 3D ConvNets
-// with one dimension of size one).
+// The storage type is Vol[T], a contiguous volume of float32 or float64
+// voxels indexed as (x, y, z) with x the fastest-varying dimension:
+// Data[(z*S.Y+y)*S.X+x]. Two-dimensional images are the special case Z == 1
+// (the paper treats 2D ConvNets as 3D ConvNets with one dimension of size
+// one). Tensor is an alias for Vol[float64], the element type of the
+// training graph; Vol[float32] backs the reduced-precision spectral path
+// (half the memory bandwidth, wider SIMD), with ConvertInto translating
+// between precisions at the boundary.
 package tensor
 
 import (
 	"fmt"
 	"math"
 )
+
+// Real is the constraint satisfied by tensor element types. The whole
+// spectral stack (fft, conv, mempool) is parameterized over it. The
+// constraint admits exactly the two builtin types (no ~): per-precision
+// dispatch throughout the stack (plan caches, pool accounting, the
+// complex64 kernels) identifies the instantiation by type assertion, which
+// a defined type would bypass.
+type Real interface {
+	float32 | float64
+}
 
 // Shape describes the extent of a 3D volume along each axis.
 type Shape struct {
@@ -125,31 +139,40 @@ func (a Sparsity) Valid() bool { return a.X > 0 && a.Y > 0 && a.Z > 0 }
 
 func (a Sparsity) String() string { return fmt.Sprintf("%d/%d/%d", a.X, a.Y, a.Z) }
 
-// Tensor is a dense 3D volume of float64 voxels.
-type Tensor struct {
+// Vol is a dense 3D volume of voxels of element type T.
+type Vol[T Real] struct {
 	S    Shape
-	Data []float64
+	Data []T
 }
 
-// New allocates a zero-filled tensor of the given shape.
-func New(s Shape) *Tensor {
+// Tensor is the float64 tensor, the element type of the training graph.
+type Tensor = Vol[float64]
+
+// NewOf allocates a zero-filled tensor of the given shape and element type.
+func NewOf[T Real](s Shape) *Vol[T] {
 	if !s.Valid() {
 		panic(fmt.Sprintf("tensor: invalid shape %v", s))
 	}
-	return &Tensor{S: s, Data: make([]float64, s.Volume())}
+	return &Vol[T]{S: s, Data: make([]T, s.Volume())}
 }
 
-// FromData wraps an existing slice as a tensor. The slice length must equal
-// the shape volume; the tensor aliases the slice (no copy).
-func FromData(s Shape, data []float64) *Tensor {
+// New allocates a zero-filled float64 tensor of the given shape.
+func New(s Shape) *Tensor { return NewOf[float64](s) }
+
+// FromDataOf wraps an existing slice as a tensor. The slice length must
+// equal the shape volume; the tensor aliases the slice (no copy).
+func FromDataOf[T Real](s Shape, data []T) *Vol[T] {
 	if len(data) != s.Volume() {
 		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (volume %d)",
 			len(data), s, s.Volume()))
 	}
-	return &Tensor{S: s, Data: data}
+	return &Vol[T]{S: s, Data: data}
 }
 
-// FromSlice builds a tensor of the given shape from literal values,
+// FromData wraps an existing float64 slice as a tensor (no copy).
+func FromData(s Shape, data []float64) *Tensor { return FromDataOf(s, data) }
+
+// FromSlice builds a float64 tensor of the given shape from literal values,
 // convenient in tests.
 func FromSlice(s Shape, vals ...float64) *Tensor {
 	t := New(s)
@@ -160,21 +183,40 @@ func FromSlice(s Shape, vals ...float64) *Tensor {
 	return t
 }
 
+// ConvertInto copies src into dst elementwise, converting between element
+// types (the precision boundary of the float32 spectral path). Shapes must
+// match.
+func ConvertInto[U, T Real](dst *Vol[U], src *Vol[T]) {
+	if dst.S != src.S {
+		panic(fmt.Sprintf("tensor: ConvertInto shape mismatch %v vs %v", dst.S, src.S))
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = U(v)
+	}
+}
+
+// ConvertOf returns a freshly allocated copy of src with element type U.
+func ConvertOf[U, T Real](src *Vol[T]) *Vol[U] {
+	d := NewOf[U](src.S)
+	ConvertInto(d, src)
+	return d
+}
+
 // At returns the voxel at (x, y, z).
-func (t *Tensor) At(x, y, z int) float64 { return t.Data[t.S.Index(x, y, z)] }
+func (t *Vol[T]) At(x, y, z int) T { return t.Data[t.S.Index(x, y, z)] }
 
 // Set stores v at voxel (x, y, z).
-func (t *Tensor) Set(x, y, z int, v float64) { t.Data[t.S.Index(x, y, z)] = v }
+func (t *Vol[T]) Set(x, y, z int, v T) { t.Data[t.S.Index(x, y, z)] = v }
 
 // Clone returns a deep copy of t.
-func (t *Tensor) Clone() *Tensor {
-	c := &Tensor{S: t.S, Data: make([]float64, len(t.Data))}
+func (t *Vol[T]) Clone() *Vol[T] {
+	c := &Vol[T]{S: t.S, Data: make([]T, len(t.Data))}
 	copy(c.Data, t.Data)
 	return c
 }
 
 // CopyFrom copies the contents of src into t. Shapes must match.
-func (t *Tensor) CopyFrom(src *Tensor) {
+func (t *Vol[T]) CopyFrom(src *Vol[T]) {
 	if t.S != src.S {
 		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %v vs %v", t.S, src.S))
 	}
@@ -182,21 +224,21 @@ func (t *Tensor) CopyFrom(src *Tensor) {
 }
 
 // Zero sets every voxel to 0.
-func (t *Tensor) Zero() {
+func (t *Vol[T]) Zero() {
 	for i := range t.Data {
 		t.Data[i] = 0
 	}
 }
 
 // Fill sets every voxel to v.
-func (t *Tensor) Fill(v float64) {
+func (t *Vol[T]) Fill(v T) {
 	for i := range t.Data {
 		t.Data[i] = v
 	}
 }
 
 // Equal reports exact elementwise equality of shape and contents.
-func (t *Tensor) Equal(u *Tensor) bool {
+func (t *Vol[T]) Equal(u *Vol[T]) bool {
 	if t.S != u.S {
 		return false
 	}
@@ -210,13 +252,13 @@ func (t *Tensor) Equal(u *Tensor) bool {
 
 // MaxAbsDiff returns the largest absolute elementwise difference between two
 // tensors of identical shape.
-func (t *Tensor) MaxAbsDiff(u *Tensor) float64 {
+func (t *Vol[T]) MaxAbsDiff(u *Vol[T]) float64 {
 	if t.S != u.S {
 		panic(fmt.Sprintf("tensor: MaxAbsDiff shape mismatch %v vs %v", t.S, u.S))
 	}
 	var m float64
 	for i, v := range t.Data {
-		if d := math.Abs(v - u.Data[i]); d > m {
+		if d := math.Abs(float64(v - u.Data[i])); d > m {
 			m = d
 		}
 	}
@@ -224,10 +266,10 @@ func (t *Tensor) MaxAbsDiff(u *Tensor) float64 {
 }
 
 // ApproxEqual reports whether two tensors agree elementwise within tol.
-func (t *Tensor) ApproxEqual(u *Tensor, tol float64) bool {
+func (t *Vol[T]) ApproxEqual(u *Vol[T], tol float64) bool {
 	return t.S == u.S && t.MaxAbsDiff(u) <= tol
 }
 
-func (t *Tensor) String() string {
+func (t *Vol[T]) String() string {
 	return fmt.Sprintf("Tensor(%v)", t.S)
 }

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"znn/internal/conv"
+	"znn/internal/fft"
 	"znn/internal/graph"
 	"znn/internal/ops"
 	"znn/internal/sched"
@@ -38,6 +39,16 @@ type Config struct {
 	Eta float64
 	// Momentum is the classical momentum coefficient.
 	Momentum float64
+	// Precision selects the element type of the packed spectral pipeline
+	// for every FFT convolution edge in the graph: the default PrecF64
+	// computes spectra in float64/complex128, bit-compatible with the
+	// pre-precision engine; PrecF32 converts images to float32 at the
+	// transform boundary and runs transforms, pointwise products and
+	// spectral accumulation in complex64 — half the spectrum memory and
+	// bandwidth, float32 accuracy. NewEngine applies it to the graph's
+	// transformers at compile time (before any round runs), so one built
+	// network trains at whichever precision the engine config asks for.
+	Precision conv.Precision
 	// DisableSpectral turns off spectral accumulation. By default, when
 	// every edge converging on a node is an FFT convolution with identical
 	// geometry, the edges sum their FFT-domain products and the node runs
@@ -173,6 +184,17 @@ func NewEngine(g *graph.Graph, cfg Config) (*Engine, error) {
 						n.Name, len(n.In), e, e.Op.Kind())
 				}
 			}
+		}
+	}
+	// Apply the engine's precision to every FFT conv edge before the
+	// spectral-eligibility analysis below: precision is part of
+	// SpectralCompatible, so it must be settled first. The config is
+	// authoritative — compiling a graph previously used at another
+	// precision resets its edges, so a default-precision engine is always
+	// the bit-compatible float64 one.
+	for _, e := range g.Edges {
+		if op, ok := e.Op.(*graph.ConvOp); ok {
+			op.Tr.SetPrecision(cfg.Precision)
 		}
 	}
 	g.ComputePriorities()
@@ -410,7 +432,7 @@ func (en *Engine) doBackward(e *graph.Edge, img *tensor.Tensor) {
 	us := en.nodes[e.From.ID]
 
 	var out *tensor.Tensor // non-spectral backward output
-	var prod []complex128  // spectral backward product
+	var prod fft.Spectrum  // spectral backward product
 	if us.bwdSpectral {
 		op := e.Op.(*graph.ConvOp)
 		prod = op.Tr.BackwardProduct(img, op.Kernel, &vs.bwdSpec)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"znn/internal/conv"
+	"znn/internal/fft"
 	"znn/internal/graph"
 	"znn/internal/net"
 	"znn/internal/ops"
@@ -167,8 +168,8 @@ func TestComplexSumConcurrent(t *testing.T) {
 			// Contributions must come from the pool.
 			buf := poolGet(n)
 			copy(buf, src)
-			if s.Add(buf) {
-				results <- s.Value()
+			if s.Add(fft.Spec128(buf)) {
+				results <- s.Value().C128
 			} else {
 				results <- nil
 			}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sync"
 
-	"znn/internal/mempool"
+	"znn/internal/fft"
 )
 
 // ComplexSum is Algorithm 4 over complex spectra: the accumulation used by
@@ -13,20 +13,22 @@ import (
 // (this is the execution model behind Table II's f′-inverse-transform
 // forward cost).
 //
-// Contributions must come from mempool.Spectra; buffers consumed as
-// partial sums are returned to the pool, and the final buffer is handed to
-// the caller of Value (who releases it after the inverse transform).
+// Contributions are dtype-tagged fft.Spectrum handles whose buffers come
+// from the spectra pool of their precision (mempool.Spectra for complex128,
+// mempool.Spectra32 for complex64); buffers consumed as partial sums are
+// returned to that pool, and the final buffer is handed to the caller of
+// Value (who releases it after the inverse transform).
 //
-// The summation is layout-agnostic: with the packed r2c pipeline the
-// contributions are Hermitian-packed spectra of length (X/2+1)·Y·Z rather
-// than full X·Y·Z volumes, which halves both the memory parked in partial
-// sums and the complex additions per contribution. All contributions to
-// one sum must share a single layout (SpectralEligible guarantees this for
-// engine-driven sums); Add panics on a length mismatch rather than
-// silently folding a packed buffer into a full one.
+// The summation is layout- and precision-agnostic: with the packed r2c
+// pipeline the contributions are Hermitian-packed spectra of length
+// (X/2+1)·Y·Z rather than full X·Y·Z volumes, and with the float32 path
+// they are complex64, which halves the memory parked in partial sums again.
+// All contributions to one sum must share a single layout and precision
+// (SpectralEligible guarantees this for engine-driven sums); Spectrum.Add
+// panics on a mismatch rather than silently folding incompatible buffers.
 type ComplexSum struct {
 	mu       sync.Mutex
-	sum      []complex128
+	sum      fft.Spectrum
 	total    int
 	required int
 }
@@ -42,37 +44,33 @@ func NewComplex(required int) *ComplexSum {
 // Add contributes v, transferring ownership. It returns true for exactly
 // one caller — the one completing the sum. Only pointer swaps happen under
 // the lock; the O(M) complex additions run outside it.
-func (s *ComplexSum) Add(v []complex128) (last bool) {
-	var vPrime []complex128
+func (s *ComplexSum) Add(v fft.Spectrum) (last bool) {
+	var vPrime fft.Spectrum
 	for {
 		s.mu.Lock()
-		if s.sum == nil {
+		if s.sum.IsNil() {
 			s.sum = v
-			v = nil
+			v = fft.Spectrum{}
 			s.total++
 			last = s.total == s.required
 		} else {
 			vPrime = s.sum
-			s.sum = nil
+			s.sum = fft.Spectrum{}
 		}
 		s.mu.Unlock()
-		if v == nil {
+		if v.IsNil() {
 			return last
 		}
-		if len(v) != len(vPrime) {
-			panic(fmt.Sprintf("wsum: spectrum length mismatch (%d vs %d): mixed packed/full contributions",
-				len(v), len(vPrime)))
-		}
-		for i := range v {
-			v[i] += vPrime[i]
-		}
-		mempool.Spectra.Put(vPrime)
+		// The expensive spectral addition happens outside the critical
+		// section, on this thread's private buffer.
+		v.Add(vPrime)
+		vPrime.Release()
 	}
 }
 
 // Value returns the completed sum buffer; the caller owns it (and should
-// return it to mempool.Spectra when done).
-func (s *ComplexSum) Value() []complex128 {
+// return it to the spectra pool of its precision when done).
+func (s *ComplexSum) Value() fft.Spectrum {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.total != s.required {
@@ -89,7 +87,7 @@ func (s *ComplexSum) Reset(required int) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.sum = nil
+	s.sum = fft.Spectrum{}
 	s.total = 0
 	s.required = required
 }

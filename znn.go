@@ -122,19 +122,32 @@ type Config struct {
 	// default, convergent FFT-convolution edges with identical geometry
 	// sum spectra and run one inverse transform per node).
 	DisableSpectral bool
+	// Float32 runs the packed spectral pipeline in float32/complex64:
+	// half the spectrum memory and bandwidth at float32 accuracy. The
+	// autotuner cost model accounts for the halved bandwidth when
+	// choosing direct vs FFT per layer. Weights and images stay float64;
+	// only the transform-domain work changes precision.
+	Float32 bool
 }
 
 func (c Config) tuner() *conv.Autotuner {
+	t := &conv.Autotuner{Policy: conv.TuneModel, Precision: c.precision()}
 	switch c.Conv {
 	case ForceDirect:
-		return &conv.Autotuner{Policy: conv.TuneForceDirect}
+		t.Policy = conv.TuneForceDirect
 	case ForceFFT:
-		return &conv.Autotuner{Policy: conv.TuneForceFFT}
+		t.Policy = conv.TuneForceFFT
 	case AutotuneMeasured:
-		return &conv.Autotuner{Policy: conv.TuneMeasure}
-	default:
-		return &conv.Autotuner{Policy: conv.TuneModel}
+		t.Policy = conv.TuneMeasure
 	}
+	return t
+}
+
+func (c Config) precision() conv.Precision {
+	if c.Float32 {
+		return conv.PrecF32
+	}
+	return conv.PrecF64
 }
 
 // Network is a trainable layered ConvNet.
@@ -182,6 +195,7 @@ func NewNetwork(spec string, cfg Config) (*Network, error) {
 		Loss:            loss,
 		Eta:             cfg.Eta,
 		Momentum:        cfg.Momentum,
+		Precision:       cfg.precision(),
 		DisableSpectral: cfg.DisableSpectral,
 	})
 	if err != nil {
