@@ -185,13 +185,20 @@ func (m *Model) Train(inputs, desired []*Tensor) (float64, error) {
 	return m.en.Round(inputs, desired)
 }
 
-// Infer runs a forward-only pass.
+// Infer runs a forward-only inference round; like Network.Infer it is safe
+// for concurrent use, with rounds in flight simultaneously.
 func (m *Model) Infer(inputs ...*Tensor) ([]*Tensor, error) {
+	return m.en.Infer(inputs)
+}
+
+// Forward runs an exclusive, stateful forward pass (NodeImage reflects it).
+func (m *Model) Forward(inputs ...*Tensor) ([]*Tensor, error) {
 	return m.en.Forward(inputs)
 }
 
-// NodeImage returns the forward image of a named node after the last pass
-// (for inspecting intermediate representations).
+// NodeImage returns the forward image of a named node after the last
+// exclusive pass (Train or Forward — concurrent Infer rounds keep their
+// images private), for inspecting intermediate representations.
 func (m *Model) NodeImage(name string) *Tensor { return m.en.NodeForward(name) }
 
 // Close applies pending updates and stops the workers.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -17,7 +18,8 @@ type benchRecord struct {
 	Name    string `json:"name"`
 	Shape   string `json:"shape"`
 	NsOp    int64  `json:"ns_op"`
-	BytesOp int64  `json:"bytes_op"` // allocated bytes per op
+	BytesOp int64  `json:"bytes_op"`          // allocated bytes per op
+	Workers int    `json:"workers,omitempty"` // scheduler workers, when the row uses them
 }
 
 // benchFile is the BENCH_<date>.json schema: metadata plus one record per
@@ -41,13 +43,27 @@ func jsonBenchmarks(cfg config) {
 		Go:   runtime.Version(),
 		CPU:  cpuModel(),
 	}
-	add := func(name, shape string, fn func(b *testing.B)) {
-		r := testing.Benchmark(fn)
+	// Each row is the median ns/op of three testing.Benchmark runs: the
+	// slow rows (~1 s/op) otherwise reduce to a single iteration, and a
+	// single sample on a shared host is too noisy for a trajectory meant
+	// to be diffed across PRs.
+	add := func(name, shape string, workers int, fn func(b *testing.B)) {
+		const runs = 3
+		ns := make([]int64, 0, runs)
+		bs := make([]int64, 0, runs)
+		for i := 0; i < runs; i++ {
+			r := testing.Benchmark(fn)
+			ns = append(ns, r.NsPerOp())
+			bs = append(bs, r.AllocedBytesPerOp())
+		}
+		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+		sort.Slice(bs, func(a, b int) bool { return bs[a] < bs[b] })
 		rec := benchRecord{
 			Name:    name,
 			Shape:   shape,
-			NsOp:    r.NsPerOp(),
-			BytesOp: r.AllocedBytesPerOp(),
+			NsOp:    ns[runs/2],
+			BytesOp: bs[runs/2],
+			Workers: workers,
 		}
 		out.Results = append(out.Results, rec)
 		fmt.Printf("%-28s %-12s %12d ns/op %10d B/op\n", rec.Name, rec.Shape, rec.NsOp, rec.BytesOp)
@@ -55,18 +71,35 @@ func jsonBenchmarks(cfg config) {
 
 	for _, n := range []int{15, 16, 27, 30, 45, 48, 96} {
 		n := n
-		add("fft3r/f64", fmt.Sprintf("%dx%dx%d", n, n, n), func(b *testing.B) {
+		add("fft3r/f64", fmt.Sprintf("%dx%dx%d", n, n, n), 0, func(b *testing.B) {
 			benchsuite.FFT3R[float64, complex128](b, n)
 		})
 	}
-	add("fft3r/f32", "96x96x96", func(b *testing.B) {
+	add("fft3r/f32", "96x96x96", 0, func(b *testing.B) {
 		benchsuite.FFT3R[float32, complex64](b, 96)
 	})
-	add("spectral-round/f64", "96x96x96", func(b *testing.B) {
+	add("spectral-round/f64", "96x96x96", cfg.workers, func(b *testing.B) {
 		benchsuite.SpectralRound96(b, conv.PrecF64, cfg.workers)
 	})
-	add("spectral-round/f32", "96x96x96", func(b *testing.B) {
+	add("spectral-round/f32", "96x96x96", cfg.workers, func(b *testing.B) {
 		benchsuite.SpectralRound96(b, conv.PrecF32, cfg.workers)
+	})
+
+	// Inference serving A/B: serialized Forward loop vs 8 rounds in
+	// flight at the same worker count (≥4, the acceptance shape — the
+	// per-row workers field records it, since it may differ from the
+	// other rows' cfg.workers on narrow hosts). vols/s = 1e9 / ns_op;
+	// the in-flight/serialized ratio is bounded by the machine's core
+	// count.
+	inferWorkers := cfg.workers
+	if inferWorkers < 4 {
+		inferWorkers = 4
+	}
+	add("infer-throughput/serial", "26x26x26", inferWorkers, func(b *testing.B) {
+		benchsuite.InferThroughput(b, inferWorkers, 1)
+	})
+	add("infer-throughput/inflight8", "26x26x26", inferWorkers, func(b *testing.B) {
+		benchsuite.InferThroughput(b, inferWorkers, 8)
 	})
 
 	name := fmt.Sprintf("BENCH_%s.json", out.Date)

@@ -33,13 +33,16 @@ type config struct {
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see doc)")
-	workers := flag.Int("workers", runtime.NumCPU(), "max worker threads for measured experiments")
+	workers := flag.Int("workers", 0, "max worker threads for measured experiments (0 = all CPUs)")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's full network sizes (slow)")
 	rounds := flag.Int("rounds", 0, "timed rounds per point (0 = default per experiment)")
 	jsonOut := flag.Bool("json", false,
 		"run the core benchmark suite and write machine-readable results to BENCH_<date>.json")
 	flag.Parse()
 
+	if *workers < 1 {
+		*workers = runtime.NumCPU()
+	}
 	cfg := config{workers: *workers, paperScale: *paperScale, rounds: *rounds, warmup: 2}
 
 	if *jsonOut {

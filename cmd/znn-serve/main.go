@@ -1,0 +1,279 @@
+// znn-serve is the inference-serving front-end: it loads (or builds) a
+// network once and serves forward passes over HTTP, keeping up to
+// -inflight rounds concurrently in flight on the shared scheduler — the
+// throughput regime of ZNNi, where many volumes share one set of kernel
+// spectra, plans and memory pools instead of serializing forward passes.
+//
+// Usage:
+//
+//	znn-serve -checkpoint model.znn [-addr :8080] [-inflight 2N] [-workers N]
+//	znn-serve -spec C3-Trelu-C1 -width 4 -out 8    # random weights (smoke/demo)
+//
+// Endpoints:
+//
+//	GET  /healthz  liveness + the network's input/output geometry
+//	POST /infer    {"data":[...]} or {"inputs":[[...],...]} → outputs
+//	GET  /stats    scheduler, mempool and serving counters
+//
+// /infer accepts one flat float64 array per input volume in x-fastest
+// (x, then y, then z) order; "shape" is optional and defaults to the
+// network's input shape. The response mirrors the layout: one flat array
+// plus shape per output volume.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"znn"
+	"znn/internal/mempool"
+	"znn/internal/tensor"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file written by znn-train (optional)")
+	spec := flag.String("spec", "C3-Trelu-C1", "layer spec when no checkpoint is given")
+	width := flag.Int("width", 2, "hidden layer width when no checkpoint is given")
+	out := flag.Int("out", 8, "output patch extent when no checkpoint is given")
+	dims := flag.Int("dims", 3, "2 or 3 dimensional images")
+	workers := flag.Int("workers", 0, "scheduler workers (0 = all CPUs)")
+	inflight := flag.Int("inflight", 0, "max concurrent inference rounds (0 = 2×workers)")
+	f32 := flag.Bool("f32", false, "run the spectral pipeline in float32/complex64")
+	seed := flag.Int64("seed", 1, "initialization seed when no checkpoint is given")
+	flag.Parse()
+
+	if *workers < 1 {
+		*workers = runtime.NumCPU()
+	}
+	if *inflight < 1 {
+		// Oversubscribe rounds 2× over workers: a single small round
+		// exposes few tasks, so extra rounds in flight keep workers busy
+		// while others finish their inverse transforms.
+		*inflight = 2 * *workers
+	}
+
+	var nw *znn.Network
+	var err error
+	if *checkpoint != "" {
+		f, ferr := os.Open(*checkpoint)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		nw, err = znn.Load(f, *workers)
+		f.Close()
+	} else {
+		nw, err = znn.NewNetwork(*spec, znn.Config{
+			Width:       *width,
+			OutputPatch: *out,
+			Dims:        *dims,
+			Workers:     *workers,
+			Float32:     *f32,
+			Seed:        *seed,
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nw.Close()
+	nw.SetTraining(false)
+
+	s := &server{nw: nw, sem: make(chan struct{}, *inflight), start: time.Now()}
+	// Bound the request body well above the JSON encoding of the expected
+	// input volumes (~25 bytes per float64 voxel, ×2 headroom, per input
+	// node) so a hostile POST cannot buffer gigabytes.
+	s.maxBody = int64(nw.InputShape().Volume())*int64(nw.NumInputs())*25*2 + 1<<20
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/infer", s.handleInfer)
+	mux.HandleFunc("/stats", s.handleStats)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute, // large volumes over slow links
+		WriteTimeout:      5 * time.Minute, // includes queueing for a round slot
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("znn-serve: %v", nw)
+	log.Printf("znn-serve: listening on %s (workers=%d, inflight=%d)", *addr, *workers, *inflight)
+	log.Fatal(srv.ListenAndServe())
+}
+
+// server holds the shared network and the in-flight round limiter: each
+// HTTP request runs one forward-only round; the semaphore bounds how many
+// are admitted to the scheduler at once, so a burst queues in cheap HTTP
+// goroutines instead of flooding the task queue.
+type server struct {
+	nw      *znn.Network
+	sem     chan struct{}
+	start   time.Time
+	maxBody int64
+
+	served    atomic.Int64 // completed inference rounds
+	rejected  atomic.Int64 // malformed requests
+	inflight  atomic.Int64 // rounds currently admitted
+	inferNsEW atomic.Int64 // exponentially weighted round latency (ns)
+}
+
+// volume is the wire form of one image volume.
+type volume struct {
+	Shape []int     `json:"shape,omitempty"`
+	Data  []float64 `json:"data"`
+}
+
+// inferRequest carries either one volume (Data/Shape at the top level) or
+// several input volumes for multi-input networks.
+type inferRequest struct {
+	volume
+	Inputs []volume `json:"inputs,omitempty"`
+}
+
+type inferResponse struct {
+	Outputs []volume `json:"outputs"`
+	Ms      float64  `json:"ms"`
+}
+
+func shapeOf(s tensor.Shape) []int { return []int{s.X, s.Y, s.Z} }
+
+// toTensor validates one wire volume against the expected shape.
+func toTensor(v volume, want tensor.Shape) (*znn.Tensor, error) {
+	got := want
+	if len(v.Shape) > 0 {
+		if len(v.Shape) != 3 {
+			return nil, fmt.Errorf("shape must have 3 extents, got %d", len(v.Shape))
+		}
+		got = tensor.Shape{X: v.Shape[0], Y: v.Shape[1], Z: v.Shape[2]}
+	}
+	if got != want {
+		return nil, fmt.Errorf("input shape %v, want %v", got, want)
+	}
+	if len(v.Data) != want.Volume() {
+		return nil, fmt.Errorf("data length %d, want %d for shape %v", len(v.Data), want.Volume(), want)
+	}
+	t := znn.NewTensor(want)
+	copy(t.Data, v.Data)
+	return t, nil
+}
+
+func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req inferRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		s.rejected.Add(1)
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	vols := req.Inputs
+	if len(vols) == 0 {
+		vols = []volume{req.volume}
+	}
+	if len(vols) != s.nw.NumInputs() {
+		s.rejected.Add(1)
+		http.Error(w, fmt.Sprintf("got %d input volumes, network has %d input nodes",
+			len(vols), s.nw.NumInputs()), http.StatusBadRequest)
+		return
+	}
+	want := s.nw.InputShape()
+	inputs := make([]*znn.Tensor, len(vols))
+	for i, v := range vols {
+		t, err := toTensor(v, want)
+		if err != nil {
+			s.rejected.Add(1)
+			http.Error(w, fmt.Sprintf("input %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		inputs[i] = t
+	}
+
+	s.sem <- struct{}{} // admit into the in-flight round budget
+	s.inflight.Add(1)
+	start := time.Now()
+	outs, err := s.nw.Infer(inputs...)
+	elapsed := time.Since(start)
+	s.inflight.Add(-1)
+	<-s.sem
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.served.Add(1)
+	// EW latency: 7/8 old + 1/8 new; CAS so concurrent rounds don't lose
+	// each other's samples.
+	for {
+		old := s.inferNsEW.Load()
+		next := old - old/8 + elapsed.Nanoseconds()/8
+		if old == 0 {
+			next = elapsed.Nanoseconds()
+		}
+		if s.inferNsEW.CompareAndSwap(old, next) {
+			break
+		}
+	}
+
+	resp := inferResponse{Ms: float64(elapsed.Nanoseconds()) / 1e6}
+	for _, o := range outs {
+		resp.Outputs = append(resp.Outputs, volume{Shape: shapeOf(o.S), Data: o.Data})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"ok":            true,
+		"spec":          s.nw.Spec(),
+		"input_shape":   shapeOf(s.nw.InputShape()),
+		"output_shape":  shapeOf(s.nw.OutputShape()),
+		"input_volume":  s.nw.InputShape().Volume(),
+		"output_volume": s.nw.OutputShape().Volume(),
+		"params":        s.nw.NumParams(),
+	})
+}
+
+// poolStats is the wire form of one mempool gauge set.
+type poolStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Puts          int64 `json:"puts"`
+	LiveBytes     int64 `json:"live_bytes"`
+	PeakLiveBytes int64 `json:"peak_live_bytes"`
+	PoolBytes     int64 `json:"pool_bytes"`
+}
+
+func poolWire(st mempool.Stats) poolStats {
+	return poolStats{
+		Hits: st.Hits, Misses: st.Misses, Puts: st.Puts,
+		LiveBytes: st.LiveBytes, PeakLiveBytes: st.PeakLiveBytes, PoolBytes: st.PoolBytes,
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	sch := s.nw.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"uptime_s":         time.Since(s.start).Seconds(),
+		"served":           s.served.Load(),
+		"rejected":         s.rejected.Load(),
+		"inflight":         s.inflight.Load(),
+		"infer_ms_ew":      float64(s.inferNsEW.Load()) / 1e6,
+		"max_inflight":     cap(s.sem),
+		"sched_executed":   sch.Executed,
+		"sched_forced":     sch.ForcedInline + sch.ForcedClaimed + sch.ForcedAttached,
+		"pool_images":      poolWire(mempool.Images.Stats()),
+		"pool_spectra":     poolWire(mempool.Spectra.Stats()),
+		"pool_spectra_f32": poolWire(mempool.Spectra32.Stats()),
+	})
+}

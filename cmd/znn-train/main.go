@@ -27,7 +27,7 @@ func main() {
 	width := flag.Int("width", 8, "hidden conv layer width")
 	out := flag.Int("out", 8, "output patch extent")
 	dims := flag.Int("dims", 3, "2 or 3 dimensional images")
-	workers := flag.Int("workers", runtime.NumCPU(), "scheduler workers")
+	workers := flag.Int("workers", 0, "scheduler workers (0 = all CPUs)")
 	rounds := flag.Int("rounds", 200, "training rounds")
 	eta := flag.Float64("eta", 0.5, "learning rate")
 	momentum := flag.Float64("momentum", 0.9, "momentum coefficient")
@@ -40,6 +40,10 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "write a checkpoint here when done")
 	seed := flag.Int64("seed", 1, "initialization seed")
 	flag.Parse()
+
+	if *workers < 1 {
+		*workers = runtime.NumCPU()
+	}
 
 	var cm znn.ConvMode
 	switch *convMode {

@@ -7,6 +7,7 @@ package benchsuite
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"znn/internal/conv"
@@ -73,4 +74,74 @@ func SpectralRound96(b *testing.B, prec conv.Precision, workers int) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// InferThroughput measures forward-only inference throughput on a small,
+// narrow network — the shape class where one round exposes far fewer
+// independent tasks than the paper's f·f′ fan-out, so a serialized
+// Forward loop leaves workers idle. inflight = 1 is the serialized
+// baseline; inflight = K keeps K rounds concurrently in flight on the
+// shared scheduler (the ZNNi serving regime). Reports vols/s so the
+// BENCH_<date>.json trajectory records throughput directly; the
+// in-flight/serialized ratio is bounded above by the machine's core
+// count, exactly like the paper's speedup experiments.
+func InferThroughput(b *testing.B, workers, inflight int) {
+	nw, err := net.Build(net.MustParse("C5-Ttanh-C3"), net.BuildOptions{
+		Width: 2, InputExtent: 26,
+		Tuner: &conv.Autotuner{Policy: conv.TuneForceFFT},
+		Seed:  17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	en, err := train.NewEngine(nw.G, train.Config{Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer en.Close()
+	rng := rand.New(rand.NewSource(18))
+	// A few distinct volumes so in-flight rounds are not byte-identical.
+	ins := make([][]*tensor.Tensor, 4)
+	for i := range ins {
+		ins[i] = []*tensor.Tensor{tensor.RandomUniform(rng, nw.InputShape(), -1, 1)}
+	}
+	// Warm kernel spectra and pools outside the timed region.
+	if _, err := en.Infer(ins[0]); err != nil {
+		b.Fatal(err)
+	}
+
+	var firstErr error
+	var errMu sync.Mutex
+	b.ResetTimer()
+	if inflight <= 1 {
+		for i := 0; i < b.N; i++ {
+			if _, err := en.Infer(ins[i%len(ins)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	} else {
+		sem := make(chan struct{}, inflight)
+		var wg sync.WaitGroup
+		for i := 0; i < b.N; i++ {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if _, err := en.Infer(ins[i%len(ins)]); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	if firstErr != nil {
+		b.Fatal(firstErr)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "vols/s")
 }

@@ -1,0 +1,20 @@
+package benchsuite
+
+import (
+	"runtime"
+	"testing"
+)
+
+// BenchmarkInferThroughput pairs the serialized Forward loop against K
+// rounds in flight at the same worker count. The acceptance shape: with
+// ≥4 workers on a small-net shape, Inflight8 should reach ≥1.5× the
+// Serial vols/s — bounded by the machine's core count (a 1-core host
+// measures ≈1×, like every other speedup experiment in this repo).
+func BenchmarkInferThroughput(b *testing.B) {
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	b.Run("Serial", func(b *testing.B) { InferThroughput(b, workers, 1) })
+	b.Run("Inflight8", func(b *testing.B) { InferThroughput(b, workers, 8) })
+}

@@ -350,6 +350,20 @@ func (t *Transformer) InvalidateKernel() {
 // Forward computes the edge's forward pass: the valid sparse convolution of
 // img with ker. sc, when non-nil, supplies the node-shared image spectrum.
 func (t *Transformer) Forward(img, ker *tensor.Tensor, sc *SpectrumCache) *tensor.Tensor {
+	return t.forward(img, ker, sc, t.mem)
+}
+
+// ForwardInfer is Forward without the memoization side effect. Concurrent
+// forward-only rounds share one Transformer, and the imgF memo slot is
+// round-scoped *training* state: if an inference pass overwrote it, a lazy
+// update task from the surrounding training rounds could consume the wrong
+// image spectrum. Inference therefore never touches the memo slots (it has
+// no update to subsidize anyway).
+func (t *Transformer) ForwardInfer(img, ker *tensor.Tensor, sc *SpectrumCache) *tensor.Tensor {
+	return t.forward(img, ker, sc, false)
+}
+
+func (t *Transformer) forward(img, ker *tensor.Tensor, sc *SpectrumCache, memo bool) *tensor.Tensor {
 	if img.S != t.in {
 		panic(fmt.Sprintf("conv: forward image %v, want %v", img.S, t.in))
 	}
@@ -375,7 +389,7 @@ func (t *Transformer) Forward(img, ker *tensor.Tensor, sc *SpectrumCache) *tenso
 	out := tensor.New(t.out)
 	t.inverseStore(out, prod, t.sp.X*(t.k.X-1), t.sp.Y*(t.k.Y-1), t.sp.Z*(t.k.Z-1))
 	prod.Release()
-	if t.mem {
+	if memo {
 		t.mu.Lock()
 		t.imgF = imgF
 		t.mu.Unlock()
@@ -491,6 +505,17 @@ func (t *Transformer) SpectralCompatible(o *Transformer) bool {
 // typically a wsum.ComplexSum). Memoization records the image spectrum
 // exactly as Forward does.
 func (t *Transformer) ForwardProduct(img, ker *tensor.Tensor, sc *SpectrumCache) fft.Spectrum {
+	return t.forwardProduct(img, ker, sc, t.mem)
+}
+
+// ForwardProductInfer is ForwardProduct without the memoization side effect
+// (see ForwardInfer), for forward-only rounds running concurrently over a
+// shared Transformer.
+func (t *Transformer) ForwardProductInfer(img, ker *tensor.Tensor, sc *SpectrumCache) fft.Spectrum {
+	return t.forwardProduct(img, ker, sc, false)
+}
+
+func (t *Transformer) forwardProduct(img, ker *tensor.Tensor, sc *SpectrumCache, memo bool) fft.Spectrum {
 	if !t.mth.IsFFT() {
 		panic("conv: ForwardProduct on a direct-method transformer")
 	}
@@ -507,7 +532,7 @@ func (t *Transformer) ForwardProduct(img, ker *tensor.Tensor, sc *SpectrumCache)
 	prod := t.specGet()
 	fft.MulSpecInto(prod, imgF, kf)
 	t.cnt.addMul(t.m, t.packed)
-	if t.mem {
+	if memo {
 		t.mu.Lock()
 		t.imgF = imgF
 		t.mu.Unlock()

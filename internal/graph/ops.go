@@ -15,7 +15,17 @@ import (
 // transform (Section IV).
 type FwdCtx struct {
 	Spectra *conv.SpectrumCache
+	// Infer marks a forward-only round that may run concurrently with
+	// other forward-only rounds over the same ops. Ops must not store
+	// per-round state (Jacobian inputs, argmax maps, FFT memo slots) —
+	// there is no backward pass to consume it and a concurrent round
+	// would race on the slot — and dropout applies its inference-time
+	// identity regardless of the shared Train toggle.
+	Infer bool
 }
+
+// infer reports whether ctx marks an inference round (nil-safe).
+func (ctx *FwdCtx) infer() bool { return ctx != nil && ctx.Infer }
 
 // BwdCtx carries per-round shared state into backward ops: the spectrum
 // cache of the backward image at the edge's target node.
@@ -98,6 +108,9 @@ func (o *ConvOp) Forward(in *tensor.Tensor, ctx *FwdCtx) *tensor.Tensor {
 	if ctx != nil {
 		sc = ctx.Spectra
 	}
+	if ctx.infer() {
+		return o.Tr.ForwardInfer(in, o.Kernel, sc)
+	}
 	return o.Tr.Forward(in, o.Kernel, sc)
 }
 
@@ -152,10 +165,14 @@ func (o *TransferOp) Kind() string { return "transfer" }
 // OutShape returns the unchanged input shape.
 func (o *TransferOp) OutShape(in tensor.Shape) tensor.Shape { return in }
 
-// Forward computes f(in + bias) and stores the output for the Jacobian.
-func (o *TransferOp) Forward(in *tensor.Tensor, _ *FwdCtx) *tensor.Tensor {
+// Forward computes f(in + bias) and stores the output for the Jacobian
+// (inference rounds skip the store — no Jacobian will run, and concurrent
+// rounds would race on the slot).
+func (o *TransferOp) Forward(in *tensor.Tensor, ctx *FwdCtx) *tensor.Tensor {
 	out := ops.TransferForward(o.F, in, o.Bias)
-	o.fwdOut = out
+	if !ctx.infer() {
+		o.fwdOut = out
+	}
 	return out
 }
 
@@ -197,11 +214,13 @@ func (o *MaxPoolOp) Kind() string { return "maxpool" }
 // OutShape returns in / window (panics when not divisible).
 func (o *MaxPoolOp) OutShape(in tensor.Shape) tensor.Shape { return in.Div(o.Window) }
 
-// Forward pools and stores the argmax map.
-func (o *MaxPoolOp) Forward(in *tensor.Tensor, _ *FwdCtx) *tensor.Tensor {
+// Forward pools and stores the argmax map (skipped on inference rounds).
+func (o *MaxPoolOp) Forward(in *tensor.Tensor, ctx *FwdCtx) *tensor.Tensor {
 	out, am := ops.MaxPoolForward(in, o.Window)
-	o.inShape = in.S
-	o.argmax = am
+	if !ctx.infer() {
+		o.inShape = in.S
+		o.argmax = am
+	}
 	return out
 }
 
@@ -239,11 +258,13 @@ func (o *MaxFilterOp) OutShape(in tensor.Shape) tensor.Shape {
 	return in.ValidConv(o.Window, o.Sp)
 }
 
-// Forward filters and stores the argmax map.
-func (o *MaxFilterOp) Forward(in *tensor.Tensor, _ *FwdCtx) *tensor.Tensor {
+// Forward filters and stores the argmax map (skipped on inference rounds).
+func (o *MaxFilterOp) Forward(in *tensor.Tensor, ctx *FwdCtx) *tensor.Tensor {
 	out, am := ops.MaxFilterSparseForward(in, o.Window, o.Sp, o.Algo, nil)
-	o.inShape = in.S
-	o.argmax = am
+	if !ctx.infer() {
+		o.inShape = in.S
+		o.argmax = am
+	}
 	return out
 }
 
@@ -274,9 +295,11 @@ func (o *DropoutOp) Kind() string { return "dropout" }
 // OutShape returns the unchanged input shape.
 func (o *DropoutOp) OutShape(in tensor.Shape) tensor.Shape { return in }
 
-// Forward applies a fresh dropout mask (or the identity at inference).
-func (o *DropoutOp) Forward(in *tensor.Tensor, _ *FwdCtx) *tensor.Tensor {
-	if !o.Train {
+// Forward applies a fresh dropout mask (or the identity at inference —
+// either via the engine's Train toggle or an inference-round ctx, whose
+// concurrent rounds must not share mask state).
+func (o *DropoutOp) Forward(in *tensor.Tensor, ctx *FwdCtx) *tensor.Tensor {
+	if !o.Train || ctx.infer() {
 		return o.D.InferenceForward(in)
 	}
 	return o.D.Forward(in)

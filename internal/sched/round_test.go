@@ -1,0 +1,183 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRoundWaitIsolation checks that Round.Wait tracks only its own round's
+// tasks: a round completes while another round's task is still blocked.
+func TestRoundWaitIsolation(t *testing.T) {
+	e := New(2, nil)
+	defer e.Shutdown()
+
+	release := make(chan struct{})
+	ra := e.NewRound()
+	ra.Spawn(Work, 1, func() { <-release })
+
+	rb := e.NewRound()
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		rb.Spawn(Work, 1, func() { ran.Add(1) })
+	}
+	rb.Wait()
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("round B ran %d of 8 tasks", got)
+	}
+	if rb.Pending() != 0 {
+		t.Fatalf("round B pending %d after Wait", rb.Pending())
+	}
+	if ra.Pending() != 1 {
+		t.Fatalf("round A pending %d, want 1 (still blocked)", ra.Pending())
+	}
+	if w, _ := e.Pending(); w != 1 {
+		t.Fatalf("global pending work %d, want 1", w)
+	}
+	close(release)
+	ra.Wait()
+	if w, _ := e.Pending(); w != 0 {
+		t.Fatalf("global pending work %d after both rounds, want 0", w)
+	}
+}
+
+// TestRoundTaskFanOut checks that tasks spawned from inside a round's tasks
+// (the engine's forward fan-out pattern) are attributed to the round, so
+// Wait covers the whole transitive task tree.
+func TestRoundTaskFanOut(t *testing.T) {
+	e := New(3, nil)
+	defer e.Shutdown()
+
+	r := e.NewRound()
+	var leaves atomic.Int64
+	r.Spawn(Work, 2, func() {
+		for i := 0; i < 4; i++ {
+			r.Spawn(Work, 1, func() {
+				r.Spawn(Work, 1, func() { leaves.Add(1) })
+			})
+		}
+	})
+	r.Wait()
+	if got := leaves.Load(); got != 4 {
+		t.Fatalf("ran %d leaf tasks, want 4", got)
+	}
+	if got := r.Spawned(); got != 9 {
+		t.Fatalf("round attributed %d tasks, want 9", got)
+	}
+}
+
+// TestRoundForceSubtask checks that FORCE-executed subtasks created via
+// Round.NewTask still count toward the round.
+func TestRoundForceSubtask(t *testing.T) {
+	e := New(2, nil)
+	defer e.Shutdown()
+
+	r := e.NewRound()
+	var order []string
+	var mu sync.Mutex
+	note := func(s string) { mu.Lock(); order = append(order, s); mu.Unlock() }
+
+	upd := e.NewTask(Update, 0, func() { note("update") })
+	e.Enqueue(upd)
+	done := make(chan struct{})
+	r.Spawn(Work, 1, func() {
+		sub := r.NewTask(Work, 1, func() { note("forward"); close(done) })
+		e.Force(upd, sub)
+	})
+	<-done
+	r.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "update" || order[1] != "forward" {
+		t.Fatalf("order = %v, want [update forward]", order)
+	}
+}
+
+// TestRoundExcludesUpdates checks Update tasks never count toward a round's
+// pending work, and DrainUpdates waits for them.
+func TestRoundExcludesUpdates(t *testing.T) {
+	e := New(1, nil)
+	defer e.Shutdown()
+
+	r := e.NewRound()
+	var updated atomic.Bool
+	r.Spawn(Work, 1, func() {
+		u := r.NewTask(Update, 0, func() {
+			time.Sleep(10 * time.Millisecond)
+			updated.Store(true)
+		})
+		e.Enqueue(u)
+	})
+	r.Wait() // must not wait for the update
+	e.DrainUpdates()
+	if !updated.Load() {
+		t.Fatal("DrainUpdates returned before the update task ran")
+	}
+	if _, u := e.Pending(); u != 0 {
+		t.Fatalf("pending updates %d after DrainUpdates", u)
+	}
+}
+
+// TestRoundErrorIsolation checks that a panicking round task is reported
+// by its own Round.Err and poisons neither the engine's sticky error nor
+// other rounds — one failed serving request must not fail every later one.
+func TestRoundErrorIsolation(t *testing.T) {
+	e := New(2, nil)
+	defer e.Shutdown()
+
+	ra := e.NewRound()
+	ra.Spawn(Work, 1, func() { panic("round A task failure") })
+	ra.Wait()
+	if ra.Err() == nil {
+		t.Fatal("round A panic not captured by Round.Err")
+	}
+	if e.Err() != nil {
+		t.Fatalf("round panic leaked to the engine's sticky error: %v", e.Err())
+	}
+	rb := e.NewRound()
+	rb.Spawn(Work, 1, func() {})
+	rb.Wait()
+	if rb.Err() != nil {
+		t.Fatalf("round B inherited round A's error: %v", rb.Err())
+	}
+
+	// Update tasks have no round: their panics stay engine-sticky.
+	u := e.NewTask(Update, 0, func() { panic("update failure") })
+	e.Enqueue(u)
+	e.DrainUpdates()
+	if e.Err() == nil {
+		t.Fatal("update panic not captured by Engine.Err")
+	}
+}
+
+// TestConcurrentRounds hammers many rounds in flight from many goroutines;
+// run under -race this exercises the per-round counter paths.
+func TestConcurrentRounds(t *testing.T) {
+	e := New(4, nil)
+	defer e.Shutdown()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				r := e.NewRound()
+				var n atomic.Int64
+				for j := 0; j < 5; j++ {
+					r.Spawn(Work, int64(j), func() { n.Add(1) })
+				}
+				r.Wait()
+				if n.Load() != 5 {
+					t.Errorf("round ran %d of 5", n.Load())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if w, _ := e.Pending(); w != 0 {
+		t.Fatalf("global pending %d after all rounds", w)
+	}
+}

@@ -70,6 +70,7 @@ type Task struct {
 	kind   Kind
 	prio   int64
 	engine *Engine
+	round  *Round // non-nil for Work tasks attributed to a Round
 
 	mu    sync.Mutex
 	state State
@@ -240,9 +241,14 @@ func (e *Engine) runBody(t *Task) {
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
+				err := fmt.Errorf("sched: task panicked: %v", r)
 				e.mu.Lock()
-				if e.firstErr == nil {
-					e.firstErr = fmt.Errorf("sched: task panicked: %v", r)
+				if rd := t.round; rd != nil {
+					if rd.firstErr == nil {
+						rd.firstErr = err
+					}
+				} else if e.firstErr == nil {
+					e.firstErr = err
 				}
 				e.mu.Unlock()
 			}
@@ -260,6 +266,13 @@ func (e *Engine) runBody(t *Task) {
 		e.pendingUpdate--
 	} else {
 		e.pendingWork--
+		if r := t.round; r != nil {
+			r.pendingWork--
+			if r.pendingWork == 0 && r.done != nil {
+				close(r.done)
+				r.done = nil // a reused round gets a fresh channel
+			}
+		}
 	}
 	e.stats.Executed++
 	e.idle.Broadcast()
@@ -336,7 +349,9 @@ func (e *Engine) Pending() (work, update int) {
 	return e.pendingWork, e.pendingUpdate
 }
 
-// Err returns the first panic captured from a task function, if any.
+// Err returns the first panic captured from a task function not
+// attributed to a Round (update tasks and round-less work); round-task
+// panics are reported by Round.Err.
 func (e *Engine) Err() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()

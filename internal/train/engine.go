@@ -1,248 +1,59 @@
-// Package train implements ZNN's gradient-learning engine: it compiles a
-// computation graph into the task dependency graph of Section V and
-// executes training rounds with the scheduler of Section VI.
-//
-// Each round (one stochastic gradient iteration) proceeds exactly as in the
-// paper: a data-provider task publishes the input images and enqueues the
-// first forward tasks; forward tasks FORCE their edge's previous update
-// task, apply the edge operation, and accumulate into the target node's
-// wait-free sum, with the last contributor fanning out the next layer's
-// forward tasks; when every output node's sum completes, the loss-gradient
-// task seeds the backward pass; backward tasks enqueue update tasks at the
-// lowest priority and accumulate into source-node sums. Update tasks
-// therefore run either lazily on idle workers or are forced just before
-// the next round's forward pass touches their edge.
 package train
 
 import (
-	"fmt"
 	"sync"
 
-	"znn/internal/conv"
-	"znn/internal/fft"
 	"znn/internal/graph"
-	"znn/internal/ops"
 	"znn/internal/sched"
 	"znn/internal/tensor"
-	"znn/internal/wsum"
 )
 
-// Config parameterizes an Engine.
-type Config struct {
-	// Workers is the number of scheduler workers (≥1).
-	Workers int
-	// Policy selects the scheduling strategy (default: priority).
-	Policy sched.Policy
-	// Loss is the training loss (default: squared).
-	Loss ops.Loss
-	// Eta is the learning rate.
-	Eta float64
-	// Momentum is the classical momentum coefficient.
-	Momentum float64
-	// Precision selects the element type of the packed spectral pipeline
-	// for every FFT convolution edge in the graph: the default PrecF64
-	// computes spectra in float64/complex128, bit-compatible with the
-	// pre-precision engine; PrecF32 converts images to float32 at the
-	// transform boundary and runs transforms, pointwise products and
-	// spectral accumulation in complex64 — half the spectrum memory and
-	// bandwidth, float32 accuracy. NewEngine applies it to the graph's
-	// transformers at compile time (before any round runs), so one built
-	// network trains at whichever precision the engine config asks for.
-	Precision conv.Precision
-	// DisableSpectral turns off spectral accumulation. By default, when
-	// every edge converging on a node is an FFT convolution with identical
-	// geometry, the edges sum their FFT-domain products and the node runs
-	// a single inverse transform — the execution model assumed by the
-	// paper's Table II costs (f′ inverse transforms per layer instead of
-	// f′·f). The accumulated buffers use whatever spectrum layout the
-	// edges' method dictates: Hermitian-packed half-spectra for the
-	// default r2c path (conv.FFT), full complex volumes for the legacy
-	// c2c path (conv.FFTC2C); the Transformer products and finishers keep
-	// the layout internal, so the engine only moves opaque buffers.
-	DisableSpectral bool
-}
-
-func (c *Config) fillDefaults() {
-	if c.Workers == 0 {
-		c.Workers = 1
-	}
-	if c.Policy == "" {
-		c.Policy = sched.PolicyPriority
-	}
-	if c.Loss == nil {
-		c.Loss = ops.SquaredLoss{}
-	}
-	if c.Eta == 0 {
-		c.Eta = 0.01
-	}
-}
-
-// nodeState is the per-round runtime state of one graph node.
-type nodeState struct {
-	n       *graph.Node
-	fwdSum  *wsum.Sum
-	bwdSum  *wsum.Sum
-	spectra conv.SpectrumCache // forward image spectra shared by out-edges
-	bwdSpec conv.SpectrumCache // backward image spectra shared by in-edges
-
-	// Spectral accumulation: when eligible, the node's forward (backward)
-	// sum runs in the FFT domain with a single inverse transform.
-	fwdSpectral bool
-	bwdSpectral bool
-	fwdCSum     *wsum.ComplexSum
-	bwdCSum     *wsum.ComplexSum
-
-	mu     sync.Mutex
-	fwdImg *tensor.Tensor
-	bwdImg *tensor.Tensor
-}
-
-func (ns *nodeState) setFwd(img *tensor.Tensor) {
-	ns.mu.Lock()
-	ns.fwdImg = img
-	ns.mu.Unlock()
-	ns.spectra.Reset(img)
-}
-
-func (ns *nodeState) setBwd(img *tensor.Tensor) {
-	ns.mu.Lock()
-	ns.bwdImg = img
-	ns.mu.Unlock()
-	ns.bwdSpec.Reset(img)
-}
-
-// FwdImage returns the node's forward image from the last round.
-func (ns *nodeState) FwdImage() *tensor.Tensor {
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
-	return ns.fwdImg
-}
-
-// BwdImage returns the node's backward image from the last round.
-func (ns *nodeState) BwdImage() *tensor.Tensor {
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
-	return ns.bwdImg
-}
-
-// edgeState tracks the edge's pending update task across rounds.
-type edgeState struct {
-	e  *graph.Edge
-	mu sync.Mutex
-	// update is the update task created by the previous round's backward
-	// pass; the next forward pass forces it (Algorithm 1).
-	update *sched.Task
-}
-
-func (es *edgeState) swapUpdate(t *sched.Task) *sched.Task {
-	es.mu.Lock()
-	defer es.mu.Unlock()
-	prev := es.update
-	es.update = t
-	return prev
-}
-
-func (es *edgeState) pendingUpdate() *sched.Task {
-	es.mu.Lock()
-	defer es.mu.Unlock()
-	return es.update
-}
-
-// Engine executes training rounds on a computation graph.
+// Engine executes rounds on a compiled Program. It is the stable façade
+// over the Program/RoundState split: Round and Forward keep their original
+// exclusive, stateful semantics (NodeForward and InputGradient report the
+// last such round), while Infer and InferBatch run forward-only rounds
+// that may be in flight concurrently from any number of goroutines.
 type Engine struct {
-	cfg     Config
-	g       *graph.Graph
-	sch     *sched.Engine
-	inputs  []*graph.Node
-	outputs []*graph.Node
-	nodes   []*nodeState
-	edges   []*edgeState
+	p *Program
 
-	mu          sync.Mutex
-	lastLoss    float64
-	outputsLeft int
-	training    bool
-	desired     []*tensor.Tensor
+	mu        sync.Mutex
+	lastLoss  float64
+	last      *RoundState // most recent exclusive round (Round or Forward)
+	lastTrain *RoundState // most recent training Round, for InputGradient
+	training  bool
 }
 
-// NewEngine compiles the graph into an execution engine. The graph must
-// validate; nodes with multiple incoming edges must receive only
-// convolution edges (the paper's structural constraint for summing nodes:
-// edge outputs entering a concurrent sum must be freshly allocated images,
-// which convolution edges guarantee).
+// NewEngine compiles the graph into an execution engine (see Compile for
+// the structural requirements on the graph).
 func NewEngine(g *graph.Graph, cfg Config) (*Engine, error) {
-	cfg.fillDefaults()
-	if err := g.Validate(); err != nil {
+	p, err := Compile(g, cfg)
+	if err != nil {
 		return nil, err
 	}
-	for _, n := range g.Nodes {
-		if len(n.In) > 1 {
-			for _, e := range n.In {
-				if _, ok := e.Op.(*graph.ConvOp); !ok {
-					return nil, fmt.Errorf(
-						"train: node %s has %d convergent edges but edge %s is %s (convergent edges must be convolutions)",
-						n.Name, len(n.In), e, e.Op.Kind())
-				}
-			}
-		}
-	}
-	// Apply the engine's precision to every FFT conv edge before the
-	// spectral-eligibility analysis below: precision is part of
-	// SpectralCompatible, so it must be settled first. The config is
-	// authoritative — compiling a graph previously used at another
-	// precision resets its edges, so a default-precision engine is always
-	// the bit-compatible float64 one.
-	for _, e := range g.Edges {
-		if op, ok := e.Op.(*graph.ConvOp); ok {
-			op.Tr.SetPrecision(cfg.Precision)
-		}
-	}
-	g.ComputePriorities()
-	en := &Engine{
-		cfg:      cfg,
-		g:        g,
-		sch:      sched.New(cfg.Workers, sched.NewStrategy(cfg.Policy, cfg.Workers)),
-		inputs:   g.Inputs(),
-		outputs:  g.Outputs(),
-		training: true,
-	}
-	en.nodes = make([]*nodeState, len(g.Nodes))
-	for i, n := range g.Nodes {
-		ns := &nodeState{n: n}
-		if len(n.In) > 0 {
-			ns.fwdSum = wsum.New(len(n.In))
-		}
-		if len(n.Out) > 0 {
-			ns.bwdSum = wsum.New(len(n.Out))
-		}
-		if !cfg.DisableSpectral {
-			if len(n.In) > 1 && graph.SpectralEligible(n.In) {
-				ns.fwdSpectral = true
-				ns.fwdCSum = wsum.NewComplex(len(n.In))
-			}
-			if len(n.Out) > 1 && graph.SpectralEligible(n.Out) {
-				ns.bwdSpectral = true
-				ns.bwdCSum = wsum.NewComplex(len(n.Out))
-			}
-		}
-		en.nodes[i] = ns
-	}
-	en.edges = make([]*edgeState, len(g.Edges))
-	for i, e := range g.Edges {
-		en.edges[i] = &edgeState{e: e}
-	}
-	return en, nil
+	return &Engine{p: p, training: true}, nil
 }
 
+// Program returns the engine's compiled program.
+func (en *Engine) Program() *Program { return en.p }
+
 // Workers returns the number of scheduler workers.
-func (en *Engine) Workers() int { return en.cfg.Workers }
+func (en *Engine) Workers() int { return en.p.cfg.Workers }
+
+// NumInputs returns the number of graph input nodes (volumes per round).
+func (en *Engine) NumInputs() int { return len(en.p.inputs) }
 
 // SetTraining toggles dropout layers between training and inference mode.
+// It affects Round and Forward; Infer always runs dropout in inference
+// mode (the toggle is cross-round op state, which concurrent forward-only
+// rounds must not depend on).
 func (en *Engine) SetTraining(training bool) {
+	// Exclusive: DropoutOp.Train is read by concurrently running rounds.
+	en.p.roundMu.Lock()
+	defer en.p.roundMu.Unlock()
 	en.mu.Lock()
 	en.training = training
 	en.mu.Unlock()
-	for _, e := range en.g.Edges {
+	for _, e := range en.p.g.Edges {
 		if d, ok := e.Op.(*graph.DropoutOp); ok {
 			d.Train = training
 		}
@@ -252,253 +63,162 @@ func (en *Engine) SetTraining(training bool) {
 // Round runs one gradient iteration: forward pass on the inputs, loss
 // against the desired outputs, backward pass, and (lazily executed) weight
 // updates. It returns the loss. inputs and desired follow the order of
-// g.Inputs() and g.Outputs().
+// g.Inputs() and g.Outputs(). Training rounds are exclusive — weights
+// mutate — so concurrent calls serialize.
 func (en *Engine) Round(inputs, desired []*tensor.Tensor) (float64, error) {
-	if err := en.startRound(inputs, desired, true); err != nil {
+	en.p.roundMu.Lock()
+	defer en.p.roundMu.Unlock()
+	rs, err := en.p.newRound(inputs, desired, true, false)
+	if err != nil {
 		return 0, err
 	}
-	en.sch.WaitWork()
-	if err := en.sch.Err(); err != nil {
+	if err := rs.run(); err != nil {
 		return 0, err
 	}
+	// Training also surfaces the engine's sticky error: a panicked update
+	// task means partially applied weights, which no later round outruns.
+	if err := en.p.sch.Err(); err != nil {
+		return 0, err
+	}
+	loss := rs.Loss()
 	en.mu.Lock()
-	defer en.mu.Unlock()
-	return en.lastLoss, nil
+	en.lastLoss = loss
+	en.last = rs
+	en.lastTrain = rs
+	en.mu.Unlock()
+	return loss, nil
 }
 
-// Forward runs a forward-only pass (inference) and returns the output
-// images in g.Outputs() order.
+// Forward runs a forward-only pass and returns the output images in
+// g.Outputs() order. Like Round it is exclusive and stateful: ops record
+// their Jacobian inputs, dropout honours SetTraining, and the pass forces
+// pending weight updates exactly as a training round's forward phase
+// would. For concurrent, side-effect-free inference use Infer.
 func (en *Engine) Forward(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
-	if err := en.startRound(inputs, nil, false); err != nil {
+	en.p.roundMu.Lock()
+	defer en.p.roundMu.Unlock()
+	rs, err := en.p.newRound(inputs, nil, false, false)
+	if err != nil {
 		return nil, err
 	}
-	en.sch.WaitWork()
-	if err := en.sch.Err(); err != nil {
+	if err := rs.run(); err != nil {
 		return nil, err
 	}
-	outs := make([]*tensor.Tensor, len(en.outputs))
-	for i, o := range en.outputs {
-		outs[i] = en.nodes[o.ID].FwdImage()
+	if err := en.p.sch.Err(); err != nil {
+		return nil, err
+	}
+	en.mu.Lock()
+	en.last = rs
+	en.mu.Unlock()
+	return rs.Outputs(), nil
+}
+
+// Infer runs a forward-only inference round and returns the output images
+// in g.Outputs() order. Infer is safe to call from any number of
+// goroutines at once: rounds share the Program's scheduler, kernel
+// spectra and memory pools but carry private accumulators and spectrum
+// caches, so N calls keep every worker busy even when one round exposes
+// little parallelism. Dropout runs in inference mode and no gradient or
+// Jacobian state is touched. Pending weight updates from a previous
+// training round are drained before the first concurrent round is
+// admitted, so all in-flight rounds see one consistent set of weights.
+func (en *Engine) Infer(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	release := en.p.acquireInfer()
+	defer release()
+	rs, err := en.p.newRound(inputs, nil, false, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := rs.run(); err != nil {
+		return nil, err
+	}
+	// A sticky engine error means an update task panicked: weights are
+	// partially applied and every result is suspect, so keep failing.
+	if err := en.p.sch.Err(); err != nil {
+		return nil, err
+	}
+	return rs.Outputs(), nil
+}
+
+// InferBatch runs len(batch) forward-only inference rounds concurrently —
+// all in flight on the shared scheduler at once — and returns each round's
+// outputs in order. The first error aborts the batch result (individual
+// rounds still run to completion).
+func (en *Engine) InferBatch(batch [][]*tensor.Tensor) ([][]*tensor.Tensor, error) {
+	release := en.p.acquireInfer()
+	defer release()
+	outs := make([][]*tensor.Tensor, len(batch))
+	errs := make([]error, len(batch))
+	var wg sync.WaitGroup
+	for i, inputs := range batch {
+		wg.Add(1)
+		go func(i int, inputs []*tensor.Tensor) {
+			defer wg.Done()
+			rs, err := en.p.newRound(inputs, nil, false, true)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := rs.run(); err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = rs.Outputs()
+		}(i, inputs)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := en.p.sch.Err(); err != nil {
+		return nil, err
 	}
 	return outs, nil
-}
-
-func (en *Engine) startRound(inputs, desired []*tensor.Tensor, backward bool) error {
-	if len(inputs) != len(en.inputs) {
-		return fmt.Errorf("train: got %d inputs, graph has %d input nodes",
-			len(inputs), len(en.inputs))
-	}
-	for i, in := range inputs {
-		if in.S != en.inputs[i].Shape {
-			return fmt.Errorf("train: input %d shape %v, want %v",
-				i, in.S, en.inputs[i].Shape)
-		}
-	}
-	if backward {
-		if len(desired) != len(en.outputs) {
-			return fmt.Errorf("train: got %d desired outputs, graph has %d output nodes",
-				len(desired), len(en.outputs))
-		}
-		for i, d := range desired {
-			if d.S != en.outputs[i].Shape {
-				return fmt.Errorf("train: desired output %d shape %v, want %v",
-					i, d.S, en.outputs[i].Shape)
-			}
-		}
-	}
-	// Reset per-round sums.
-	for _, ns := range en.nodes {
-		if ns.fwdSum != nil {
-			ns.fwdSum.Reset(len(ns.n.In))
-		}
-		if ns.fwdCSum != nil {
-			ns.fwdCSum.Reset(len(ns.n.In))
-		}
-		if backward && ns.bwdSum != nil {
-			ns.bwdSum.Reset(len(ns.n.Out))
-		}
-		if backward && ns.bwdCSum != nil {
-			ns.bwdCSum.Reset(len(ns.n.Out))
-		}
-	}
-	en.mu.Lock()
-	en.outputsLeft = len(en.outputs)
-	en.desired = desired
-	en.mu.Unlock()
-
-	// The data-provider task (Fig. 3, orange node).
-	providerPrio := int64(1 << 30) // runs before any forward task
-	en.sch.Spawn(sched.Work, providerPrio, func() {
-		for i, in := range inputs {
-			node := en.inputs[i]
-			en.nodes[node.ID].setFwd(in)
-			for _, e := range node.Out {
-				en.spawnForward(e, in, backward)
-			}
-		}
-	})
-	return nil
-}
-
-// spawnForward enqueues the forward task of edge e consuming image I
-// (Algorithm 1, FORWARD-TASK + FORCE).
-func (en *Engine) spawnForward(e *graph.Edge, img *tensor.Tensor, backward bool) {
-	es := en.edges[e.ID]
-	en.sch.Spawn(sched.Work, e.To.FwdPrio, func() {
-		sub := en.sch.NewTask(sched.Work, e.To.FwdPrio, func() {
-			en.doForward(e, img, backward)
-		})
-		en.sch.Force(es.pendingUpdate(), sub)
-	})
-}
-
-// doForward is Algorithm 1's DO-FORWARD.
-func (en *Engine) doForward(e *graph.Edge, img *tensor.Tensor, backward bool) {
-	us := en.nodes[e.From.ID]
-	vs := en.nodes[e.To.ID]
-	var sum *tensor.Tensor
-	if vs.fwdSpectral {
-		op := e.Op.(*graph.ConvOp)
-		prod := op.Tr.ForwardProduct(img, op.Kernel, &us.spectra)
-		if !vs.fwdCSum.Add(prod) {
-			return
-		}
-		sum = op.Tr.FinishForward(vs.fwdCSum.Value())
-	} else {
-		out := e.Op.Forward(img, &graph.FwdCtx{Spectra: &us.spectra})
-		if !vs.fwdSum.Add(out) {
-			return
-		}
-		sum = vs.fwdSum.Value()
-	}
-	vs.setFwd(sum)
-	if e.To.IsOutput() {
-		en.outputReady(backward)
-		return
-	}
-	for _, e2 := range e.To.Out {
-		en.spawnForward(e2, sum, backward)
-	}
-}
-
-// outputReady fires when one output node's forward sum completes; the last
-// one spawns the loss-gradient task (Fig. 3, dark red nodes).
-func (en *Engine) outputReady(backward bool) {
-	en.mu.Lock()
-	en.outputsLeft--
-	ready := en.outputsLeft == 0
-	en.mu.Unlock()
-	if !ready || !backward {
-		return
-	}
-	// Loss priority: above all backward tasks so the backward pass starts
-	// immediately.
-	lossPrio := int64(1 << 30)
-	en.sch.Spawn(sched.Work, lossPrio, func() {
-		actual := make([]*tensor.Tensor, len(en.outputs))
-		for i, o := range en.outputs {
-			actual[i] = en.nodes[o.ID].FwdImage()
-		}
-		en.mu.Lock()
-		desired := en.desired
-		en.mu.Unlock()
-		loss, grads := en.cfg.Loss.Eval(actual, desired)
-		en.mu.Lock()
-		en.lastLoss = loss
-		en.mu.Unlock()
-		for i, o := range en.outputs {
-			en.nodes[o.ID].setBwd(grads[i])
-			for _, e := range o.In {
-				en.spawnBackward(e, grads[i])
-			}
-		}
-	})
-}
-
-// spawnBackward enqueues the backward task of edge e = (u, v) consuming the
-// backward image at v (Algorithm 2).
-func (en *Engine) spawnBackward(e *graph.Edge, img *tensor.Tensor) {
-	en.sch.Spawn(sched.Work, e.From.BwdPrio, func() {
-		en.doBackward(e, img)
-	})
-}
-
-// doBackward is Algorithm 2's BACKWARD-TASK body. The order matters: the
-// backward transform runs first (trainable transfer ops record their bias
-// gradient during it), then the update task is enqueued, then the result
-// joins the source node's sum.
-func (en *Engine) doBackward(e *graph.Edge, img *tensor.Tensor) {
-	vs := en.nodes[e.To.ID]
-	us := en.nodes[e.From.ID]
-
-	var out *tensor.Tensor // non-spectral backward output
-	var prod fft.Spectrum  // spectral backward product
-	if us.bwdSpectral {
-		op := e.Op.(*graph.ConvOp)
-		prod = op.Tr.BackwardProduct(img, op.Kernel, &vs.bwdSpec)
-	} else {
-		out = e.Op.Backward(img, &graph.BwdCtx{Spectra: &vs.bwdSpec})
-	}
-
-	if trainable, ok := e.Op.(graph.Trainable); ok {
-		fwdIn := us.FwdImage() // If = u.fwd_image, captured now
-		opt := graph.UpdateOpts{Eta: en.cfg.Eta, Momentum: en.cfg.Momentum}
-		upd := en.sch.NewTask(sched.Update, graph.UpdatePriority, func() {
-			trainable.Update(fwdIn, img, opt)
-		})
-		en.edges[e.ID].swapUpdate(upd)
-		en.sch.Enqueue(upd)
-	}
-
-	var sum *tensor.Tensor
-	if us.bwdSpectral {
-		if !us.bwdCSum.Add(prod) {
-			return
-		}
-		sum = e.Op.(*graph.ConvOp).Tr.FinishBackward(us.bwdCSum.Value())
-	} else {
-		if !us.bwdSum.Add(out) {
-			return
-		}
-		sum = us.bwdSum.Value()
-	}
-	us.setBwd(sum)
-	if e.From.IsInput() {
-		return
-	}
-	for _, e2 := range e.From.In {
-		en.spawnBackward(e2, sum)
-	}
 }
 
 // Drain executes all pending update tasks (normally they are forced by the
 // next round's forward pass; call Drain after the final round so the last
 // gradients are applied).
 func (en *Engine) Drain() error {
-	en.sch.Drain()
-	return en.sch.Err()
+	en.p.sch.Drain()
+	return en.p.sch.Err()
 }
 
 // InputGradient returns the gradient of the loss with respect to input i,
 // available after a Round (a feature the general graph formulation gives
-// for free; useful for sensitivity analysis).
+// for free; useful for sensitivity analysis). It reports the most recent
+// training Round even when Forward or Infer passes ran in between.
 func (en *Engine) InputGradient(i int) *tensor.Tensor {
-	return en.nodes[en.inputs[i].ID].BwdImage()
+	en.mu.Lock()
+	last := en.lastTrain
+	en.mu.Unlock()
+	if last == nil {
+		return nil
+	}
+	return last.nodes[en.p.inputs[i].ID].BwdImage()
 }
 
 // NodeForward returns the forward image at the named node from the last
-// round, or nil if unknown.
+// exclusive round (Round or Forward), or nil if unknown.
 func (en *Engine) NodeForward(name string) *tensor.Tensor {
-	for _, ns := range en.nodes {
-		if ns.n.Name == name {
-			return ns.FwdImage()
+	en.mu.Lock()
+	last := en.last
+	en.mu.Unlock()
+	if last == nil {
+		return nil
+	}
+	for i := range en.p.nodes {
+		if en.p.nodes[i].n.Name == name {
+			return last.nodes[i].FwdImage()
 		}
 	}
 	return nil
 }
 
 // SchedulerStats returns scheduler counters for the current engine.
-func (en *Engine) SchedulerStats() sched.Stats { return en.sch.Stats() }
+func (en *Engine) SchedulerStats() sched.Stats { return en.p.sch.Stats() }
 
 // Loss returns the loss of the most recent Round.
 func (en *Engine) Loss() float64 {
@@ -510,6 +230,6 @@ func (en *Engine) Loss() float64 {
 // Close drains pending updates and shuts the scheduler down.
 func (en *Engine) Close() error {
 	err := en.Drain()
-	en.sch.Shutdown()
+	en.p.sch.Shutdown()
 	return err
 }

@@ -1,0 +1,283 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"znn/internal/conv"
+	"znn/internal/graph"
+	"znn/internal/mempool"
+	"znn/internal/net"
+	"znn/internal/tensor"
+)
+
+// buildInferNet compiles a small two-conv-layer FFT network. Width 2 keeps
+// summing-node fan-in at 2, where Algorithm 4's accumulation is a single
+// commutative addition — bit-identical regardless of contribution order —
+// so concurrent rounds can be compared byte-for-byte against serial ones.
+func buildInferNet(t testing.TB, workers int) (*Engine, *net.Network) {
+	t.Helper()
+	nw, err := net.Build(net.MustParse("C3-Ttanh-C3"), net.BuildOptions{
+		Width: 2, InputExtent: 16,
+		Tuner:   &conv.Autotuner{Policy: conv.TuneForceFFT},
+		Memoize: true, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := NewEngine(nw.G, Config{Workers: workers, Eta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return en, nw
+}
+
+// TestConcurrentInferDeterminism runs ≥8 simultaneous Infer rounds on one
+// engine and checks every result is bit-identical to the serialized
+// Forward pass over the same input. This is both the -race exercise for
+// concurrent in-flight rounds and the determinism acceptance check.
+func TestConcurrentInferDeterminism(t *testing.T) {
+	en, nw := buildInferNet(t, 4)
+	defer en.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	const nInputs = 8
+	inputs := make([]*tensor.Tensor, nInputs)
+	want := make([]*tensor.Tensor, nInputs)
+	for i := range inputs {
+		inputs[i] = tensor.RandomUniform(rng, nw.InputShape(), -1, 1)
+		outs, err := en.Forward([]*tensor.Tensor{inputs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = outs[0]
+	}
+
+	const goroutines = 8
+	const perG = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < perG; k++ {
+				i := (g + k) % nInputs
+				outs, err := en.Infer([]*tensor.Tensor{inputs[i]})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !outs[0].Equal(want[i]) {
+					errs <- fmt.Errorf(
+						"goroutine %d input %d: concurrent Infer differs from serial Forward (max |Δ| = %g)",
+						g, i, outs[0].MaxAbsDiff(want[i]))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestInferAfterTrainingSeesUpdatedWeights checks the training→inference
+// transition: lazily pending update tasks from the last Round are applied
+// before the first Infer round is admitted, so Infer and a subsequent
+// (update-forcing) Forward agree bit-for-bit.
+func TestInferAfterTrainingSeesUpdatedWeights(t *testing.T) {
+	en, nw := buildInferNet(t, 3)
+	defer en.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	in := tensor.RandomUniform(rng, nw.InputShape(), -1, 1)
+	des := tensor.RandomUniform(rng, nw.OutputShape(), -1, 1)
+	for i := 0; i < 3; i++ {
+		if _, err := en.Round([]*tensor.Tensor{in.Clone()}, []*tensor.Tensor{des.Clone()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Updates from the last Round are still pending here.
+	inferOut, err := en.Infer([]*tensor.Tensor{in.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdOut, err := en.Forward([]*tensor.Tensor{in.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inferOut[0].Equal(fwdOut[0]) {
+		t.Fatalf("Infer after training differs from Forward (max |Δ| = %g): pending updates not applied before inference",
+			inferOut[0].MaxAbsDiff(fwdOut[0]))
+	}
+}
+
+// TestInferBatchMatchesSerial checks InferBatch returns per-round outputs
+// in order, equal to serial Forward results.
+func TestInferBatchMatchesSerial(t *testing.T) {
+	en, nw := buildInferNet(t, 4)
+	defer en.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	const k = 6
+	batch := make([][]*tensor.Tensor, k)
+	want := make([]*tensor.Tensor, k)
+	for i := range batch {
+		in := tensor.RandomUniform(rng, nw.InputShape(), -1, 1)
+		batch[i] = []*tensor.Tensor{in}
+		outs, err := en.Forward([]*tensor.Tensor{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = outs[0]
+	}
+	outs, err := en.InferBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if len(outs[i]) != 1 || !outs[i][0].Equal(want[i]) {
+			t.Fatalf("batch round %d differs from serial Forward", i)
+		}
+	}
+}
+
+// TestInferAllocatesLessThanRound asserts via the spectra pool's peak-live
+// gauge that a forward-only round allocates strictly less pooled memory
+// than a training round at the same shape: no backward products, no
+// gradient accumulators, no update-task spectra.
+//
+// The graph is chosen so the separation is deterministic at one worker: a
+// single input fans out through two FFT convolutions to two outputs, so
+// every forward node has fan-in 1 (non-spectral — each forward task holds
+// one pooled product at a time) while the backward pass accumulates both
+// edges' products spectrally at the input node (Algorithm 4 parks one
+// partial while folding the next: two pooled buffers live at the peak).
+func TestInferAllocatesLessThanRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.New()
+	inShape := tensor.Cube(16)
+	n0 := g.AddNode("in", inShape)
+	k1 := graph.InitKernel(rng, tensor.Cube(3), 1)
+	k2 := graph.InitKernel(rng, tensor.Cube(3), 1)
+	outShape := inShape.ValidConv(tensor.Cube(3), tensor.Dense())
+	n1 := g.AddNode("out1", outShape)
+	n2 := g.AddNode("out2", outShape)
+	g.Connect(n0, n1, graph.NewConvOp(inShape, k1, tensor.Dense(), conv.FFT, false, nil))
+	g.Connect(n0, n2, graph.NewConvOp(inShape, k2, tensor.Dense(), conv.FFT, false, nil))
+	en, err := NewEngine(g, Config{Workers: 1, Eta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	if !en.p.nodes[n0.ID].bwdSpectral || en.p.nodes[n1.ID].fwdSpectral {
+		t.Fatal("test graph does not have the intended spectral structure")
+	}
+
+	in := tensor.RandomUniform(rng, inShape, -1, 1)
+	des := []*tensor.Tensor{
+		tensor.RandomUniform(rng, outShape, -1, 1),
+		tensor.RandomUniform(rng, outShape, -1, 1),
+	}
+	round := func() {
+		if _, err := en.Round([]*tensor.Tensor{in.Clone()}, des); err != nil {
+			t.Fatal(err)
+		}
+		if err := en.Drain(); err != nil { // include update-task allocations in the phase
+			t.Fatal(err)
+		}
+	}
+	round() // warm: kernel spectra, pool population
+	mempool.Spectra.ResetPeak()
+	round()
+	peakRound := mempool.Spectra.Stats().PeakLiveBytes
+
+	mempool.Spectra.ResetPeak()
+	if _, err := en.Infer([]*tensor.Tensor{in.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+	peakInfer := mempool.Spectra.Stats().PeakLiveBytes
+
+	if peakInfer >= peakRound {
+		t.Fatalf("Infer peak pooled bytes %d not strictly below Round peak %d", peakInfer, peakRound)
+	}
+	t.Logf("peak pooled spectra bytes: Round %d, Infer %d (%.0f%%)",
+		peakRound, peakInfer, 100*float64(peakInfer)/float64(peakRound))
+}
+
+// TestInferProgressUnderSustainedTraining checks that Infer cannot be
+// starved by a training loop: every completed Round leaves fresh lazy
+// update tasks, so the shared-lock admission path never observes a clean
+// weight state — after a few drain attempts Infer must fall back to
+// running under the exclusive lock and still return.
+func TestInferProgressUnderSustainedTraining(t *testing.T) {
+	en, nw := buildInferNet(t, 2)
+	defer en.Close()
+
+	rng := rand.New(rand.NewSource(19))
+	in := tensor.RandomUniform(rng, nw.InputShape(), -1, 1)
+	des := tensor.RandomUniform(rng, nw.OutputShape(), -1, 1)
+
+	stop := make(chan struct{})
+	trainDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				trainDone <- nil
+				return
+			default:
+				if _, err := en.Round([]*tensor.Tensor{in.Clone()}, []*tensor.Tensor{des.Clone()}); err != nil {
+					trainDone <- err
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if _, err := en.Infer([]*tensor.Tensor{in.Clone()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-trainDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInferDoesNotDisturbTraining interleaves inference with training and
+// checks the training trajectory matches a twin engine that never ran
+// inference: Infer must leave no trace in cross-round op state (memo
+// slots, Jacobian inputs, dropout masks).
+func TestInferDoesNotDisturbTraining(t *testing.T) {
+	enA, nw := buildInferNet(t, 3)
+	defer enA.Close()
+	enB, _ := buildInferNet(t, 3)
+	defer enB.Close()
+
+	rng := rand.New(rand.NewSource(13))
+	in := tensor.RandomUniform(rng, nw.InputShape(), -1, 1)
+	des := tensor.RandomUniform(rng, nw.OutputShape(), -1, 1)
+	for i := 0; i < 4; i++ {
+		lA, err := enA.Round([]*tensor.Tensor{in.Clone()}, []*tensor.Tensor{des.Clone()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Inference between A's training rounds only.
+		if _, err := enA.Infer([]*tensor.Tensor{in.Clone()}); err != nil {
+			t.Fatal(err)
+		}
+		lB, err := enB.Round([]*tensor.Tensor{in.Clone()}, []*tensor.Tensor{des.Clone()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lA != lB {
+			t.Fatalf("round %d: loss with interleaved inference %.17g differs from undisturbed %.17g", i, lA, lB)
+		}
+	}
+}

@@ -42,7 +42,7 @@ func TestF32TrainingMatchesF64(t *testing.T) {
 		t.Fatal(err)
 	}
 	found := false
-	for _, ns := range en32.nodes {
+	for _, ns := range en32.p.nodes {
 		if ns.fwdSpectral {
 			found = true
 		}

@@ -1,0 +1,246 @@
+// Package train implements ZNN's gradient-learning engine: it compiles a
+// computation graph into the task dependency graph of Section V and
+// executes rounds with the scheduler of Section VI.
+//
+// The execution core is split into two layers:
+//
+//   - Program is the immutable compiled form of a graph: topology, edge
+//     transformers and weights, spectral-eligibility analysis, scheduler
+//     priorities, and the shared worker pool. One Program is compiled per
+//     network and never changes shape after Compile (weights mutate only
+//     through training rounds, which are exclusive).
+//   - RoundState (round.go) is everything one round in flight mutates:
+//     per-node wait-free sums, spectrum caches, forward/backward images,
+//     the loss accumulator and the round-scoped task fan-out. Training
+//     rounds hold the Program's round lock exclusively; forward-only
+//     inference rounds hold it shared, so N of them run concurrently on
+//     the one scheduler and mempool — the regime ZNNi (Zlateski et al.,
+//     2016) shows maximizes CPU inference throughput.
+//
+// Each training round (one stochastic gradient iteration) proceeds exactly
+// as in the paper: a data-provider task publishes the input images and
+// enqueues the first forward tasks; forward tasks FORCE their edge's
+// previous update task, apply the edge operation, and accumulate into the
+// target node's wait-free sum, with the last contributor fanning out the
+// next layer's forward tasks; when every output node's sum completes, the
+// loss-gradient task seeds the backward pass; backward tasks enqueue update
+// tasks at the lowest priority and accumulate into source-node sums. Update
+// tasks therefore run either lazily on idle workers or are forced just
+// before the next round's forward pass touches their edge.
+package train
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"znn/internal/conv"
+	"znn/internal/graph"
+	"znn/internal/ops"
+	"znn/internal/sched"
+)
+
+// Config parameterizes a Program.
+type Config struct {
+	// Workers is the number of scheduler workers; 0 (and any value < 1)
+	// defaults to runtime.NumCPU() — the paper's scheduler exists to use
+	// every core, so running it single-threaded by omission was a trap.
+	Workers int
+	// Policy selects the scheduling strategy (default: priority).
+	Policy sched.Policy
+	// Loss is the training loss (default: squared).
+	Loss ops.Loss
+	// Eta is the learning rate.
+	Eta float64
+	// Momentum is the classical momentum coefficient.
+	Momentum float64
+	// Precision selects the element type of the packed spectral pipeline
+	// for every FFT convolution edge in the graph: the default PrecF64
+	// computes spectra in float64/complex128, bit-compatible with the
+	// pre-precision engine; PrecF32 converts images to float32 at the
+	// transform boundary and runs transforms, pointwise products and
+	// spectral accumulation in complex64 — half the spectrum memory and
+	// bandwidth, float32 accuracy. Compile applies it to the graph's
+	// transformers before any round runs, so one built network trains at
+	// whichever precision the config asks for.
+	Precision conv.Precision
+	// DisableSpectral turns off spectral accumulation. By default, when
+	// every edge converging on a node is an FFT convolution with identical
+	// geometry, the edges sum their FFT-domain products and the node runs
+	// a single inverse transform — the execution model assumed by the
+	// paper's Table II costs (f′ inverse transforms per layer instead of
+	// f′·f). The accumulated buffers use whatever spectrum layout the
+	// edges' method dictates: Hermitian-packed half-spectra for the
+	// default r2c path (conv.FFT), full complex volumes for the legacy
+	// c2c path (conv.FFTC2C); the Transformer products and finishers keep
+	// the layout internal, so the engine only moves opaque buffers.
+	DisableSpectral bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers < 1 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Policy == "" {
+		c.Policy = sched.PolicyPriority
+	}
+	if c.Loss == nil {
+		c.Loss = ops.SquaredLoss{}
+	}
+	if c.Eta == 0 {
+		c.Eta = 0.01
+	}
+}
+
+// nodeInfo is the compiled, immutable per-node execution plan: which
+// accumulator kind the node needs and how wide its fan-in/out is. All
+// mutable per-round state lives in RoundState.
+type nodeInfo struct {
+	n *graph.Node
+
+	// Spectral accumulation: when eligible, the node's forward (backward)
+	// sum runs in the FFT domain with a single inverse transform.
+	fwdSpectral bool
+	bwdSpectral bool
+}
+
+// edgeState tracks the edge's pending update task across rounds. It is the
+// one piece of mutable state that lives on the Program rather than a
+// RoundState: update tasks are deliberately cross-round (Algorithm 1's
+// FORCE runs round N's update just before round N+1's forward touches the
+// edge), and they mutate weights, which is why training rounds are
+// exclusive.
+type edgeState struct {
+	e  *graph.Edge
+	mu sync.Mutex
+	// update is the update task created by the previous round's backward
+	// pass; the next forward pass forces it (Algorithm 1).
+	update *sched.Task
+}
+
+func (es *edgeState) swapUpdate(t *sched.Task) *sched.Task {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	prev := es.update
+	es.update = t
+	return prev
+}
+
+func (es *edgeState) pendingUpdate() *sched.Task {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	return es.update
+}
+
+// Program is the immutable compiled form of a computation graph: topology,
+// edge transformers, weights, cached kernel spectra, and the shared
+// scheduler. Rounds execute against it through RoundState values; any
+// number of forward-only rounds may be in flight at once, while training
+// rounds (which mutate weights) are exclusive.
+type Program struct {
+	cfg     Config
+	g       *graph.Graph
+	sch     *sched.Engine
+	inputs  []*graph.Node
+	outputs []*graph.Node
+	nodes   []nodeInfo
+	edges   []*edgeState
+
+	// roundMu orders rounds: training and compat forward rounds take it
+	// exclusively (they mutate cross-round op state), inference rounds
+	// take it shared. Weight-mutating update tasks are drained before the
+	// first shared round is admitted (see acquireInfer).
+	roundMu sync.RWMutex
+}
+
+// Compile turns the graph into an executable Program. The graph must
+// validate; nodes with multiple incoming edges must receive only
+// convolution edges (the paper's structural constraint for summing nodes:
+// edge outputs entering a concurrent sum must be freshly allocated images,
+// which convolution edges guarantee).
+func Compile(g *graph.Graph, cfg Config) (*Program, error) {
+	cfg.fillDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	for _, n := range g.Nodes {
+		if len(n.In) > 1 {
+			for _, e := range n.In {
+				if _, ok := e.Op.(*graph.ConvOp); !ok {
+					return nil, fmt.Errorf(
+						"train: node %s has %d convergent edges but edge %s is %s (convergent edges must be convolutions)",
+						n.Name, len(n.In), e, e.Op.Kind())
+				}
+			}
+		}
+	}
+	// Apply the program's precision to every FFT conv edge before the
+	// spectral-eligibility analysis below: precision is part of
+	// SpectralCompatible, so it must be settled first. The config is
+	// authoritative — compiling a graph previously used at another
+	// precision resets its edges, so a default-precision program is always
+	// the bit-compatible float64 one.
+	for _, e := range g.Edges {
+		if op, ok := e.Op.(*graph.ConvOp); ok {
+			op.Tr.SetPrecision(cfg.Precision)
+		}
+	}
+	g.ComputePriorities()
+	p := &Program{
+		cfg:     cfg,
+		g:       g,
+		sch:     sched.New(cfg.Workers, sched.NewStrategy(cfg.Policy, cfg.Workers)),
+		inputs:  g.Inputs(),
+		outputs: g.Outputs(),
+	}
+	p.nodes = make([]nodeInfo, len(g.Nodes))
+	for i, n := range g.Nodes {
+		ni := nodeInfo{n: n}
+		if !cfg.DisableSpectral {
+			if len(n.In) > 1 && graph.SpectralEligible(n.In) {
+				ni.fwdSpectral = true
+			}
+			if len(n.Out) > 1 && graph.SpectralEligible(n.Out) {
+				ni.bwdSpectral = true
+			}
+		}
+		p.nodes[i] = ni
+	}
+	p.edges = make([]*edgeState, len(g.Edges))
+	for i, e := range g.Edges {
+		p.edges[i] = &edgeState{e: e}
+	}
+	return p, nil
+}
+
+// Workers returns the number of scheduler workers.
+func (p *Program) Workers() int { return p.cfg.Workers }
+
+// Scheduler returns the program's shared scheduler (stats, draining).
+func (p *Program) Scheduler() *sched.Engine { return p.sch }
+
+// acquireInfer admits a forward-only round and returns the matching
+// release function. Normally it takes the round lock shared, first making
+// sure no lazily pending update task can mutate weights while inference
+// rounds are in flight (the drain runs under the exclusive lock so it
+// cannot race with a training round spawning new updates, and the
+// admission loop re-checks under the shared lock). Sustained training
+// leaves fresh lazy updates after every round, which could starve that
+// retry loop forever — so after a few attempts the round is admitted
+// holding the exclusive lock instead: serialized with training but
+// guaranteed to make progress.
+func (p *Program) acquireInfer() (release func()) {
+	for attempt := 0; attempt < 3; attempt++ {
+		p.roundMu.RLock()
+		if _, upd := p.sch.Pending(); upd == 0 {
+			return p.roundMu.RUnlock
+		}
+		p.roundMu.RUnlock()
+		p.roundMu.Lock()
+		p.sch.DrainUpdates()
+		p.roundMu.Unlock()
+	}
+	p.roundMu.Lock()
+	p.sch.DrainUpdates()
+	return p.roundMu.Unlock
+}

@@ -1,0 +1,343 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"znn/internal/conv"
+	"znn/internal/fft"
+	"znn/internal/graph"
+	"znn/internal/sched"
+	"znn/internal/tensor"
+	"znn/internal/wsum"
+)
+
+// roundNode is the per-round runtime state of one graph node: the wait-free
+// accumulators (drawn from the wsum free lists, so N rounds in flight get
+// private sums), the round's spectrum caches, and the published images.
+type roundNode struct {
+	fwdSum  *wsum.Sum
+	bwdSum  *wsum.Sum
+	fwdCSum *wsum.ComplexSum
+	bwdCSum *wsum.ComplexSum
+	spectra conv.SpectrumCache // forward image spectra shared by out-edges
+	bwdSpec conv.SpectrumCache // backward image spectra shared by in-edges
+
+	mu     sync.Mutex
+	fwdImg *tensor.Tensor
+	bwdImg *tensor.Tensor
+}
+
+func (rn *roundNode) setFwd(img *tensor.Tensor) {
+	rn.mu.Lock()
+	rn.fwdImg = img
+	rn.mu.Unlock()
+	rn.spectra.Reset(img)
+}
+
+func (rn *roundNode) setBwd(img *tensor.Tensor) {
+	rn.mu.Lock()
+	rn.bwdImg = img
+	rn.mu.Unlock()
+	rn.bwdSpec.Reset(img)
+}
+
+// FwdImage returns the node's forward image from the round.
+func (rn *roundNode) FwdImage() *tensor.Tensor {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	return rn.fwdImg
+}
+
+// BwdImage returns the node's backward image from the round.
+func (rn *roundNode) BwdImage() *tensor.Tensor {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	return rn.bwdImg
+}
+
+// RoundState is one round in flight: a private fan-out of tasks over the
+// shared Program. Training rounds (backward = true) additionally carry the
+// desired outputs, the loss accumulator and backward sums; inference
+// rounds (infer = true) never allocate backward accumulators and never
+// touch cross-round op state, which is what lets many of them run
+// concurrently.
+type RoundState struct {
+	p        *Program
+	sr       *sched.Round
+	backward bool
+	infer    bool
+	inputs   []*tensor.Tensor
+	desired  []*tensor.Tensor
+	nodes    []roundNode
+
+	mu          sync.Mutex
+	loss        float64
+	outputsLeft int
+}
+
+// newRound validates the round's inputs against the graph and allocates
+// the per-round state. Exactly one accumulator is drawn per summing node
+// side — the spectral one when the node's edges sum in the FFT domain, the
+// tensor one otherwise — and backward accumulators only for training
+// rounds, so forward-only rounds allocate strictly less.
+func (p *Program) newRound(inputs, desired []*tensor.Tensor, backward, infer bool) (*RoundState, error) {
+	if len(inputs) != len(p.inputs) {
+		return nil, fmt.Errorf("train: got %d inputs, graph has %d input nodes",
+			len(inputs), len(p.inputs))
+	}
+	for i, in := range inputs {
+		if in.S != p.inputs[i].Shape {
+			return nil, fmt.Errorf("train: input %d shape %v, want %v",
+				i, in.S, p.inputs[i].Shape)
+		}
+	}
+	if backward {
+		if len(desired) != len(p.outputs) {
+			return nil, fmt.Errorf("train: got %d desired outputs, graph has %d output nodes",
+				len(desired), len(p.outputs))
+		}
+		for i, d := range desired {
+			if d.S != p.outputs[i].Shape {
+				return nil, fmt.Errorf("train: desired output %d shape %v, want %v",
+					i, d.S, p.outputs[i].Shape)
+			}
+		}
+	}
+	rs := &RoundState{
+		p:           p,
+		sr:          p.sch.NewRound(),
+		backward:    backward,
+		infer:       infer,
+		inputs:      inputs,
+		desired:     desired,
+		nodes:       make([]roundNode, len(p.nodes)),
+		outputsLeft: len(p.outputs),
+	}
+	for i := range p.nodes {
+		ni := &p.nodes[i]
+		rn := &rs.nodes[i]
+		if fanIn := len(ni.n.In); fanIn > 0 {
+			if ni.fwdSpectral {
+				rn.fwdCSum = wsum.GetComplex(fanIn)
+			} else {
+				rn.fwdSum = wsum.Get(fanIn)
+			}
+		}
+		if fanOut := len(ni.n.Out); backward && fanOut > 0 {
+			if ni.bwdSpectral {
+				rn.bwdCSum = wsum.GetComplex(fanOut)
+			} else {
+				rn.bwdSum = wsum.Get(fanOut)
+			}
+		}
+	}
+	return rs, nil
+}
+
+// run executes the round to completion: it spawns the data-provider task
+// (Fig. 3, orange node) and waits for the round's own task tree — other
+// rounds in flight and lazy update tasks are not waited on. The
+// accumulators return to their free lists before run returns; the
+// published images in rs.nodes stay valid. The returned error is
+// round-local (sched attributes a round task's panic to its Round), so
+// one failing round in flight does not poison concurrent or later rounds;
+// update-task panics stay on the engine's sticky error, surfaced by the
+// exclusive entry points and Drain/Close.
+func (rs *RoundState) run() error {
+	providerPrio := int64(1 << 30) // runs before any forward task
+	rs.sr.Spawn(sched.Work, providerPrio, func() {
+		for i, in := range rs.inputs {
+			node := rs.p.inputs[i]
+			rs.nodes[node.ID].setFwd(in)
+			for _, e := range node.Out {
+				rs.spawnForward(e, in)
+			}
+		}
+	})
+	rs.sr.Wait()
+	rs.release()
+	return rs.sr.Err()
+}
+
+// release returns the round's accumulators to the wsum free lists. Called
+// after the round's task tree has completed, so no task can still touch
+// them; the image tensors the sums produced are owned by rs.nodes now.
+func (rs *RoundState) release() {
+	for i := range rs.nodes {
+		rn := &rs.nodes[i]
+		if rn.fwdSum != nil {
+			rn.fwdSum.Release()
+			rn.fwdSum = nil
+		}
+		if rn.bwdSum != nil {
+			rn.bwdSum.Release()
+			rn.bwdSum = nil
+		}
+		if rn.fwdCSum != nil {
+			rn.fwdCSum.Release()
+			rn.fwdCSum = nil
+		}
+		if rn.bwdCSum != nil {
+			rn.bwdCSum.Release()
+			rn.bwdCSum = nil
+		}
+	}
+}
+
+// Outputs returns the round's output images in g.Outputs() order.
+func (rs *RoundState) Outputs() []*tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(rs.p.outputs))
+	for i, o := range rs.p.outputs {
+		outs[i] = rs.nodes[o.ID].FwdImage()
+	}
+	return outs
+}
+
+// Loss returns the loss computed by the round's loss-gradient task.
+func (rs *RoundState) Loss() float64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.loss
+}
+
+// spawnForward enqueues the forward task of edge e consuming image I
+// (Algorithm 1, FORWARD-TASK + FORCE). Inference rounds skip the FORCE
+// bookkeeping entirely: acquireInfer drained all pending update tasks
+// before the round was admitted, so there is nothing to force and no
+// cross-round edge state to touch.
+func (rs *RoundState) spawnForward(e *graph.Edge, img *tensor.Tensor) {
+	if rs.infer {
+		rs.sr.Spawn(sched.Work, e.To.FwdPrio, func() {
+			rs.doForward(e, img)
+		})
+		return
+	}
+	es := rs.p.edges[e.ID]
+	rs.sr.Spawn(sched.Work, e.To.FwdPrio, func() {
+		sub := rs.sr.NewTask(sched.Work, e.To.FwdPrio, func() {
+			rs.doForward(e, img)
+		})
+		rs.p.sch.Force(es.pendingUpdate(), sub)
+	})
+}
+
+// doForward is Algorithm 1's DO-FORWARD.
+func (rs *RoundState) doForward(e *graph.Edge, img *tensor.Tensor) {
+	us := &rs.nodes[e.From.ID]
+	vs := &rs.nodes[e.To.ID]
+	var sum *tensor.Tensor
+	if rs.p.nodes[e.To.ID].fwdSpectral {
+		op := e.Op.(*graph.ConvOp)
+		var prod fft.Spectrum
+		if rs.infer {
+			prod = op.Tr.ForwardProductInfer(img, op.Kernel, &us.spectra)
+		} else {
+			prod = op.Tr.ForwardProduct(img, op.Kernel, &us.spectra)
+		}
+		if !vs.fwdCSum.Add(prod) {
+			return
+		}
+		sum = op.Tr.FinishForward(vs.fwdCSum.Value())
+	} else {
+		out := e.Op.Forward(img, &graph.FwdCtx{Spectra: &us.spectra, Infer: rs.infer})
+		if !vs.fwdSum.Add(out) {
+			return
+		}
+		sum = vs.fwdSum.Value()
+	}
+	vs.setFwd(sum)
+	if e.To.IsOutput() {
+		rs.outputReady()
+		return
+	}
+	for _, e2 := range e.To.Out {
+		rs.spawnForward(e2, sum)
+	}
+}
+
+// outputReady fires when one output node's forward sum completes; on
+// training rounds the last one spawns the loss-gradient task (Fig. 3, dark
+// red nodes).
+func (rs *RoundState) outputReady() {
+	rs.mu.Lock()
+	rs.outputsLeft--
+	ready := rs.outputsLeft == 0
+	rs.mu.Unlock()
+	if !ready || !rs.backward {
+		return
+	}
+	// Loss priority: above all backward tasks so the backward pass starts
+	// immediately.
+	lossPrio := int64(1 << 30)
+	rs.sr.Spawn(sched.Work, lossPrio, func() {
+		actual := rs.Outputs()
+		loss, grads := rs.p.cfg.Loss.Eval(actual, rs.desired)
+		rs.mu.Lock()
+		rs.loss = loss
+		rs.mu.Unlock()
+		for i, o := range rs.p.outputs {
+			rs.nodes[o.ID].setBwd(grads[i])
+			for _, e := range o.In {
+				rs.spawnBackward(e, grads[i])
+			}
+		}
+	})
+}
+
+// spawnBackward enqueues the backward task of edge e = (u, v) consuming the
+// backward image at v (Algorithm 2).
+func (rs *RoundState) spawnBackward(e *graph.Edge, img *tensor.Tensor) {
+	rs.sr.Spawn(sched.Work, e.From.BwdPrio, func() {
+		rs.doBackward(e, img)
+	})
+}
+
+// doBackward is Algorithm 2's BACKWARD-TASK body. The order matters: the
+// backward transform runs first (trainable transfer ops record their bias
+// gradient during it), then the update task is enqueued, then the result
+// joins the source node's sum.
+func (rs *RoundState) doBackward(e *graph.Edge, img *tensor.Tensor) {
+	vs := &rs.nodes[e.To.ID]
+	us := &rs.nodes[e.From.ID]
+	bwdSpectral := rs.p.nodes[e.From.ID].bwdSpectral
+
+	var out *tensor.Tensor // non-spectral backward output
+	var prod fft.Spectrum  // spectral backward product
+	if bwdSpectral {
+		op := e.Op.(*graph.ConvOp)
+		prod = op.Tr.BackwardProduct(img, op.Kernel, &vs.bwdSpec)
+	} else {
+		out = e.Op.Backward(img, &graph.BwdCtx{Spectra: &vs.bwdSpec})
+	}
+
+	if trainable, ok := e.Op.(graph.Trainable); ok {
+		fwdIn := us.FwdImage() // If = u.fwd_image, captured now
+		opt := graph.UpdateOpts{Eta: rs.p.cfg.Eta, Momentum: rs.p.cfg.Momentum}
+		upd := rs.sr.NewTask(sched.Update, graph.UpdatePriority, func() {
+			trainable.Update(fwdIn, img, opt)
+		})
+		rs.p.edges[e.ID].swapUpdate(upd)
+		rs.p.sch.Enqueue(upd)
+	}
+
+	var sum *tensor.Tensor
+	if bwdSpectral {
+		if !us.bwdCSum.Add(prod) {
+			return
+		}
+		sum = e.Op.(*graph.ConvOp).Tr.FinishBackward(us.bwdCSum.Value())
+	} else {
+		if !us.bwdSum.Add(out) {
+			return
+		}
+		sum = us.bwdSum.Value()
+	}
+	us.setBwd(sum)
+	if e.From.IsInput() {
+		return
+	}
+	for _, e2 := range e.From.In {
+		rs.spawnBackward(e2, sum)
+	}
+}

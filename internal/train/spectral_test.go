@@ -42,7 +42,7 @@ func TestSpectralTrainingMatchesSerial(t *testing.T) {
 	// Sanity: the middle layer of the spectral engine is actually running
 	// spectrally (width 4 → 4 conv edges converge per node).
 	found := false
-	for _, ns := range enS.nodes {
+	for _, ns := range enS.p.nodes {
 		if ns.fwdSpectral {
 			found = true
 		}
@@ -50,7 +50,7 @@ func TestSpectralTrainingMatchesSerial(t *testing.T) {
 	if !found {
 		t.Fatal("no node qualified for spectral accumulation")
 	}
-	for _, ns := range enP.nodes {
+	for _, ns := range enP.p.nodes {
 		if ns.fwdSpectral || ns.bwdSpectral {
 			t.Fatal("DisableSpectral did not disable spectral accumulation")
 		}
@@ -233,7 +233,7 @@ func TestPackedSpectralMatchesC2C(t *testing.T) {
 	}
 	for _, en := range []*Engine{enPacked, enC2C} {
 		found := false
-		for _, ns := range en.nodes {
+		for _, ns := range en.p.nodes {
 			if ns.fwdSpectral {
 				found = true
 			}

@@ -41,6 +41,36 @@ func NewComplex(required int) *ComplexSum {
 	return &ComplexSum{required: required}
 }
 
+// complexSumPool recycles ComplexSum objects across rounds, mirroring the
+// tensor-sum free list: concurrent rounds allocate private spectral
+// accumulators per node instead of resetting engine-owned ones in place.
+var complexSumPool = sync.Pool{New: func() any { return &ComplexSum{} }}
+
+// GetComplex returns a ComplexSum from the free list, reset to expect
+// required contributions. Pair with Release when the round completes.
+func GetComplex(required int) *ComplexSum {
+	s := complexSumPool.Get().(*ComplexSum)
+	s.Reset(required)
+	return s
+}
+
+// Release returns the object to the free list. If the sum still holds an
+// unconsumed buffer (an abandoned round that never reached Value), the
+// buffer goes back to the spectra pool of its precision; a completed sum
+// holds nothing, because Value transfers the buffer out.
+func (s *ComplexSum) Release() {
+	s.mu.Lock()
+	held := s.sum
+	s.sum = fft.Spectrum{}
+	s.total = 0
+	s.required = 1
+	s.mu.Unlock()
+	if !held.IsNil() {
+		held.Release()
+	}
+	complexSumPool.Put(s)
+}
+
 // Add contributes v, transferring ownership. It returns true for exactly
 // one caller — the one completing the sum. Only pointer swaps happen under
 // the lock; the O(M) complex additions run outside it.
@@ -68,8 +98,10 @@ func (s *ComplexSum) Add(v fft.Spectrum) (last bool) {
 	}
 }
 
-// Value returns the completed sum buffer; the caller owns it (and should
-// return it to the spectra pool of its precision when done).
+// Value returns the completed sum buffer and transfers ownership to the
+// caller (who should return it to the spectra pool of its precision when
+// done): the internal slot is cleared, so a later Release cannot return
+// the same buffer to the pool twice.
 func (s *ComplexSum) Value() fft.Spectrum {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -77,7 +109,9 @@ func (s *ComplexSum) Value() fft.Spectrum {
 		panic(fmt.Sprintf("wsum: Value before completion (%d of %d contributions)",
 			s.total, s.required))
 	}
-	return s.sum
+	v := s.sum
+	s.sum = fft.Spectrum{}
+	return v
 }
 
 // Reset prepares for a new round.

@@ -38,6 +38,32 @@ func New(required int) *Sum {
 	return &Sum{required: required}
 }
 
+// sumPool recycles Sum objects across rounds. Rounds used to reset one
+// engine-owned Sum per node in place, which pinned the engine to a single
+// round in flight; per-round sums come from this free list instead, so N
+// concurrent rounds each get private accumulators without allocation churn.
+var sumPool = sync.Pool{New: func() any { return &Sum{} }}
+
+// Get returns a Sum from the package free list, reset to expect required
+// contributions. Pair with Release when the round completes.
+func Get(required int) *Sum {
+	s := sumPool.Get().(*Sum)
+	s.Reset(required)
+	return s
+}
+
+// Release drops the Sum's tensor reference (ownership of the completed
+// value has passed to the caller of Value) and returns the object to the
+// free list.
+func (s *Sum) Release() {
+	s.mu.Lock()
+	s.sum = nil
+	s.total = 0
+	s.required = 1
+	s.mu.Unlock()
+	sumPool.Put(s)
+}
+
 // Required returns the number of contributions the sum expects.
 func (s *Sum) Required() int {
 	s.mu.Lock()

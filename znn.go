@@ -98,7 +98,9 @@ type Config struct {
 	OutputPatch int
 	// InputPatch sets the input extent directly.
 	InputPatch int
-	// Workers is the scheduler worker count (default 1).
+	// Workers is the scheduler worker count; 0 defaults to all CPUs
+	// (runtime.NumCPU()) — the paper's scheduler exists to use every
+	// core, so the old silent default of 1 was a trap.
 	Workers int
 	// Policy is the scheduling strategy (default Priority).
 	Policy SchedulerPolicy
@@ -207,6 +209,9 @@ func NewNetwork(spec string, cfg Config) (*Network, error) {
 // InputShape returns the shape training inputs must have.
 func (n *Network) InputShape() Shape { return n.nw.InputShape() }
 
+// NumInputs returns the number of input volumes per round (InWidth).
+func (n *Network) NumInputs() int { return n.en.NumInputs() }
+
 // OutputShape returns the shape of the network outputs.
 func (n *Network) OutputShape() Shape { return n.nw.OutputShape() }
 
@@ -241,8 +246,50 @@ func (n *Network) TrainMulti(inputs, desired []*Tensor) (float64, error) {
 	return n.en.Round(inputs, desired)
 }
 
-// Infer runs a forward pass and returns the outputs.
+// Infer runs a forward-only inference round and returns the outputs.
+// Infer is safe to call from any number of goroutines at once: concurrent
+// calls keep their rounds in flight on the shared scheduler and memory
+// pools simultaneously, which is how a narrow network saturates a wide
+// machine under serving traffic. Dropout layers always run in inference
+// mode here; pending weight updates from training are applied before the
+// first concurrent round is admitted, so all in-flight rounds see one
+// consistent set of weights.
 func (n *Network) Infer(inputs ...*Tensor) ([]*Tensor, error) {
+	return n.en.Infer(inputs)
+}
+
+// InferBatch runs one forward-only round per input volume, all in flight
+// concurrently, and returns the first network output for each (the common
+// single-input single-output serving case; use InferBatchMulti for wider
+// networks). Outputs are returned in input order.
+func (n *Network) InferBatch(inputs []*Tensor) ([]*Tensor, error) {
+	batch := make([][]*Tensor, len(inputs))
+	for i, in := range inputs {
+		batch[i] = []*Tensor{in}
+	}
+	outs, err := n.en.InferBatch(batch)
+	if err != nil {
+		return nil, err
+	}
+	firsts := make([]*Tensor, len(outs))
+	for i, o := range outs {
+		firsts[i] = o[0]
+	}
+	return firsts, nil
+}
+
+// InferBatchMulti is InferBatch for networks with multiple inputs or
+// outputs: each batch element is one round's input slice, and the result
+// holds each round's full output slice.
+func (n *Network) InferBatchMulti(batch [][]*Tensor) ([][]*Tensor, error) {
+	return n.en.InferBatch(batch)
+}
+
+// Forward runs an exclusive, stateful forward pass (dropout honours
+// SetTraining, ops record Jacobian state, pending updates are forced). It
+// exists for training-adjacent inspection; serving traffic should use
+// Infer, which runs concurrently.
+func (n *Network) Forward(inputs ...*Tensor) ([]*Tensor, error) {
 	return n.en.Forward(inputs)
 }
 
