@@ -102,6 +102,17 @@ func jsonBenchmarks(cfg config) {
 		benchsuite.InferThroughput(b, inferWorkers, 8)
 	})
 
+	// Batched serving A/B: 8 volumes per dispatch, fused into one K-wide
+	// round vs 8 independent rounds in flight. ns_op is per dispatch of 8
+	// volumes (vols/s = 8e9 / ns_op); the fused/independent ratio needs a
+	// ≥4-core host to show the cache-streaming win.
+	add("infer-fused/independent8", "26x26x26", inferWorkers, func(b *testing.B) {
+		benchsuite.InferFused(b, inferWorkers, 8, false)
+	})
+	add("infer-fused/fused8", "26x26x26", inferWorkers, func(b *testing.B) {
+		benchsuite.InferFused(b, inferWorkers, 8, true)
+	})
+
 	name := fmt.Sprintf("BENCH_%s.json", out.Date)
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"sync/atomic"
+	"time"
+
+	"znn"
+)
+
+// batcher coalesces queued inference requests into fused K-wide rounds:
+// the front of the queue waits at most `delay` (or not at all when delay
+// is 0 — greedy draining) while up to maxBatch requests accumulate, then
+// the whole group dispatches as ONE fused round via znn.InferBatchFusedMulti,
+// each layer's kernel spectra streaming through cache once per batch
+// instead of once per request. Outputs are demuxed back to the waiting
+// request goroutines; a round error fails exactly the requests of that
+// batch (fused-round errors are round-local, so later batches are
+// unaffected).
+//
+// With delay 0 the batcher adds no idle latency: a lone request on an idle
+// server dispatches immediately, and batches form only when requests are
+// already queued behind an in-flight round. A positive delay trades up to
+// that much added latency for wider batches.
+type batcher struct {
+	dispatch func([][]*znn.Tensor) ([][]*znn.Tensor, error)
+	maxBatch int
+	delay    time.Duration
+	sem      chan struct{} // shared in-flight round budget (may be nil)
+	reqs     chan *batchReq
+
+	batches      atomic.Int64 // fused rounds dispatched
+	batchedReqs  atomic.Int64 // requests carried by those rounds
+	coalesceNsEW atomic.Int64 // EW mean of time spent queued before dispatch
+}
+
+// batchReq is one queued request: its input volumes and the channel its
+// HTTP goroutine blocks on.
+type batchReq struct {
+	inputs []*znn.Tensor
+	enq    time.Time
+	done   chan batchResult
+}
+
+type batchResult struct {
+	outs []*znn.Tensor
+	err  error
+}
+
+// newBatcher starts the coalescing loop. dispatch runs one fused round
+// over the collected batch; sem, when non-nil, bounds concurrent rounds
+// (one slot per dispatched batch).
+func newBatcher(dispatch func([][]*znn.Tensor) ([][]*znn.Tensor, error),
+	maxBatch int, delay time.Duration, sem chan struct{}) *batcher {
+	b := &batcher{
+		dispatch: dispatch,
+		maxBatch: maxBatch,
+		delay:    delay,
+		sem:      sem,
+		reqs:     make(chan *batchReq, maxBatch),
+	}
+	go b.loop()
+	return b
+}
+
+// submit queues one request and blocks until its batch's round completes.
+func (b *batcher) submit(inputs []*znn.Tensor) ([]*znn.Tensor, error) {
+	r := &batchReq{inputs: inputs, enq: time.Now(), done: make(chan batchResult, 1)}
+	b.reqs <- r
+	res := <-r.done
+	return res.outs, res.err
+}
+
+// close stops the coalescing loop after the queue drains. Only tests need
+// it; the server runs its batcher for the process lifetime.
+func (b *batcher) close() { close(b.reqs) }
+
+// loop collects request groups and hands them to flush. The in-flight
+// round slot is acquired BEFORE the batch is sealed: under saturation the
+// loop blocks on the semaphore while requests keep queuing, so the batch
+// that dispatches when a slot frees has widened toward maxBatch — load is
+// exactly when the kernel-spectrum sharing a wide round buys is worth the
+// most. Dispatch itself runs on its own goroutine (releasing the slot),
+// so the loop is already collecting the next batch while rounds run.
+func (b *batcher) loop() {
+	for first := range b.reqs {
+		if b.sem != nil {
+			b.sem <- struct{}{} // wait for a round slot; requests queue meanwhile
+		}
+		batch := []*batchReq{first}
+		if b.delay > 0 {
+			timer := time.NewTimer(b.delay)
+		timed:
+			for len(batch) < b.maxBatch {
+				select {
+				case r, ok := <-b.reqs:
+					if !ok {
+						break timed
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					break timed
+				}
+			}
+			timer.Stop()
+		} else {
+		greedy:
+			for len(batch) < b.maxBatch {
+				select {
+				case r, ok := <-b.reqs:
+					if !ok {
+						break greedy
+					}
+					batch = append(batch, r)
+				default:
+					break greedy
+				}
+			}
+		}
+		b.flush(batch)
+	}
+}
+
+// flush dispatches one collected batch as a fused round and demuxes the
+// per-volume outputs (or the round error) to the waiting requests. The
+// caller (loop) already holds one sem slot for this round; the dispatch
+// goroutine releases it.
+func (b *batcher) flush(batch []*batchReq) {
+	now := time.Now()
+	for _, r := range batch {
+		ewmaUpdate(&b.coalesceNsEW, now.Sub(r.enq).Nanoseconds())
+	}
+	b.batches.Add(1)
+	b.batchedReqs.Add(int64(len(batch)))
+	go func() {
+		defer func() {
+			if b.sem != nil {
+				<-b.sem
+			}
+		}()
+		in := make([][]*znn.Tensor, len(batch))
+		for i, r := range batch {
+			in[i] = r.inputs
+		}
+		outs, err := b.dispatch(in)
+		if err != nil {
+			for _, r := range batch {
+				r.done <- batchResult{err: err}
+			}
+			return
+		}
+		for i, r := range batch {
+			r.done <- batchResult{outs: outs[i]}
+		}
+	}()
+}
+
+// widthMean returns the mean number of requests per dispatched round.
+func (b *batcher) widthMean() float64 {
+	n := b.batches.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(b.batchedReqs.Load()) / float64(n)
+}
+
+// ewmaUpdate folds a sample into an exponentially weighted gauge (7/8 old
+// + 1/8 new) with CAS so concurrent samples don't lose each other.
+func ewmaUpdate(g *atomic.Int64, sample int64) {
+	for {
+		old := g.Load()
+		next := old - old/8 + sample/8
+		if old == 0 {
+			next = sample
+		}
+		if g.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

@@ -4,16 +4,25 @@
 // throughput regime of ZNNi, where many volumes share one set of kernel
 // spectra, plans and memory pools instead of serializing forward passes.
 //
+// Queued requests are additionally coalesced into fused K-wide rounds: up
+// to -max-batch requests (waiting at most -batch-delay microseconds)
+// dispatch as ONE round that sweeps all K volumes at each layer, so the
+// layer's kernel spectra stream through cache once per batch instead of
+// once per request. -batch-delay 0 (the default) is greedy: a lone request
+// on an idle server dispatches immediately, and batches form exactly when
+// load makes requests queue. -max-batch 1 disables batching entirely.
+//
 // Usage:
 //
 //	znn-serve -checkpoint model.znn [-addr :8080] [-inflight 2N] [-workers N]
+//	          [-max-batch K] [-batch-delay µs]
 //	znn-serve -spec C3-Trelu-C1 -width 4 -out 8    # random weights (smoke/demo)
 //
 // Endpoints:
 //
 //	GET  /healthz  liveness + the network's input/output geometry
 //	POST /infer    {"data":[...]} or {"inputs":[[...],...]} → outputs
-//	GET  /stats    scheduler, mempool and serving counters
+//	GET  /stats    scheduler, mempool, serving and batcher counters
 //
 // /infer accepts one flat float64 array per input volume in x-fastest
 // (x, then y, then z) order; "shape" is optional and defaults to the
@@ -46,6 +55,8 @@ func main() {
 	dims := flag.Int("dims", 3, "2 or 3 dimensional images")
 	workers := flag.Int("workers", 0, "scheduler workers (0 = all CPUs)")
 	inflight := flag.Int("inflight", 0, "max concurrent inference rounds (0 = 2×workers)")
+	maxBatch := flag.Int("max-batch", 4, "max requests fused into one K-wide round (1 = no batching)")
+	batchDelay := flag.Int("batch-delay", 0, "microseconds the batcher waits for a fuller batch (0 = dispatch greedily, no added latency)")
 	f32 := flag.Bool("f32", false, "run the spectral pipeline in float32/complex64")
 	seed := flag.Int64("seed", 1, "initialization seed when no checkpoint is given")
 	flag.Parse()
@@ -85,11 +96,7 @@ func main() {
 	defer nw.Close()
 	nw.SetTraining(false)
 
-	s := &server{nw: nw, sem: make(chan struct{}, *inflight), start: time.Now()}
-	// Bound the request body well above the JSON encoding of the expected
-	// input volumes (~25 bytes per float64 voxel, ×2 headroom, per input
-	// node) so a hostile POST cannot buffer gigabytes.
-	s.maxBody = int64(nw.InputShape().Volume())*int64(nw.NumInputs())*25*2 + 1<<20
+	s := newServer(nw, *inflight, *maxBatch, time.Duration(*batchDelay)*time.Microsecond)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/infer", s.handleInfer)
@@ -104,24 +111,41 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	log.Printf("znn-serve: %v", nw)
-	log.Printf("znn-serve: listening on %s (workers=%d, inflight=%d)", *addr, *workers, *inflight)
+	log.Printf("znn-serve: listening on %s (workers=%d, inflight=%d, max-batch=%d, batch-delay=%s)",
+		*addr, *workers, *inflight, *maxBatch, time.Duration(*batchDelay)*time.Microsecond)
 	log.Fatal(srv.ListenAndServe())
 }
 
-// server holds the shared network and the in-flight round limiter: each
-// HTTP request runs one forward-only round; the semaphore bounds how many
-// are admitted to the scheduler at once, so a burst queues in cheap HTTP
-// goroutines instead of flooding the task queue.
+// server holds the shared network, the in-flight round limiter, and the
+// request batcher. Each HTTP request either joins a fused K-wide round via
+// the batcher (max-batch > 1) or runs one forward-only round directly; the
+// semaphore bounds how many rounds are admitted to the scheduler at once,
+// so a burst queues in cheap HTTP goroutines instead of flooding the task
+// queue.
 type server struct {
 	nw      *znn.Network
 	sem     chan struct{}
+	batch   *batcher // nil when batching is disabled
 	start   time.Time
 	maxBody int64
 
-	served    atomic.Int64 // completed inference rounds
+	served    atomic.Int64 // completed inference requests
 	rejected  atomic.Int64 // malformed requests
-	inflight  atomic.Int64 // rounds currently admitted
-	inferNsEW atomic.Int64 // exponentially weighted round latency (ns)
+	requests  atomic.Int64 // requests currently in the server (queued or running)
+	inferNsEW atomic.Int64 // exponentially weighted request latency (ns)
+}
+
+// newServer assembles the serving state around a loaded network.
+func newServer(nw *znn.Network, inflight, maxBatch int, batchDelay time.Duration) *server {
+	s := &server{nw: nw, sem: make(chan struct{}, inflight), start: time.Now()}
+	// Bound the request body well above the JSON encoding of the expected
+	// input volumes (~25 bytes per float64 voxel, ×2 headroom, per input
+	// node) so a hostile POST cannot buffer gigabytes.
+	s.maxBody = int64(nw.InputShape().Volume())*int64(nw.NumInputs())*25*2 + 1<<20
+	if maxBatch > 1 {
+		s.batch = newBatcher(nw.InferBatchFusedMulti, maxBatch, batchDelay, s.sem)
+	}
+	return s
 }
 
 // volume is the wire form of one image volume.
@@ -197,30 +221,30 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		inputs[i] = t
 	}
 
-	s.sem <- struct{}{} // admit into the in-flight round budget
-	s.inflight.Add(1)
+	s.requests.Add(1)
 	start := time.Now()
-	outs, err := s.nw.Infer(inputs...)
+	var outs []*znn.Tensor
+	var err error
+	if s.batch != nil {
+		// Join the coalescing queue; the batcher holds a sem slot per
+		// dispatched fused round, and per-request latency includes the
+		// coalesce wait (tracked separately in the batcher's EW gauge).
+		outs, err = s.batch.submit(inputs)
+	} else {
+		s.sem <- struct{}{} // admit into the in-flight round budget
+		outs, err = s.nw.Infer(inputs...)
+		<-s.sem
+	}
 	elapsed := time.Since(start)
-	s.inflight.Add(-1)
-	<-s.sem
+	s.requests.Add(-1)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	s.served.Add(1)
-	// EW latency: 7/8 old + 1/8 new; CAS so concurrent rounds don't lose
-	// each other's samples.
-	for {
-		old := s.inferNsEW.Load()
-		next := old - old/8 + elapsed.Nanoseconds()/8
-		if old == 0 {
-			next = elapsed.Nanoseconds()
-		}
-		if s.inferNsEW.CompareAndSwap(old, next) {
-			break
-		}
-	}
+	// EW latency: 7/8 old + 1/8 new; CAS so concurrent requests don't
+	// lose each other's samples.
+	ewmaUpdate(&s.inferNsEW, elapsed.Nanoseconds())
 
 	resp := inferResponse{Ms: float64(elapsed.Nanoseconds()) / 1e6}
 	for _, o := range outs {
@@ -262,18 +286,32 @@ func poolWire(st mempool.Stats) poolStats {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	sch := s.nw.Stats()
+	stats := map[string]any{
+		"uptime_s": time.Since(s.start).Seconds(),
+		"served":   s.served.Load(),
+		"rejected": s.rejected.Load(),
+		// inflight counts rounds holding a semaphore slot (≤ max_inflight,
+		// as in the unbatched server); requests_inflight counts HTTP
+		// requests inside the server, including those still coalescing in
+		// the batcher queue — the difference is the queue depth.
+		"inflight":          len(s.sem),
+		"requests_inflight": s.requests.Load(),
+		"infer_ms_ew":       float64(s.inferNsEW.Load()) / 1e6,
+		"max_inflight":      cap(s.sem),
+		"sched_executed":    sch.Executed,
+		"sched_forced":      sch.ForcedInline + sch.ForcedClaimed + sch.ForcedAttached,
+		"pool_images":       poolWire(mempool.Images.Stats()),
+		"pool_spectra":      poolWire(mempool.Spectra.Stats()),
+		"pool_spectra_f32":  poolWire(mempool.Spectra32.Stats()),
+	}
+	if s.batch != nil {
+		stats["batches"] = s.batch.batches.Load()
+		stats["batched_requests"] = s.batch.batchedReqs.Load()
+		stats["batch_width_mean"] = s.batch.widthMean()
+		stats["coalesce_ms_ew"] = float64(s.batch.coalesceNsEW.Load()) / 1e6
+		stats["max_batch"] = s.batch.maxBatch
+		stats["batch_delay_us"] = s.batch.delay.Microseconds()
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"uptime_s":         time.Since(s.start).Seconds(),
-		"served":           s.served.Load(),
-		"rejected":         s.rejected.Load(),
-		"inflight":         s.inflight.Load(),
-		"infer_ms_ew":      float64(s.inferNsEW.Load()) / 1e6,
-		"max_inflight":     cap(s.sem),
-		"sched_executed":   sch.Executed,
-		"sched_forced":     sch.ForcedInline + sch.ForcedClaimed + sch.ForcedAttached,
-		"pool_images":      poolWire(mempool.Images.Stats()),
-		"pool_spectra":     poolWire(mempool.Spectra.Stats()),
-		"pool_spectra_f32": poolWire(mempool.Spectra32.Stats()),
-	})
+	json.NewEncoder(w).Encode(stats)
 }

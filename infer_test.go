@@ -1,6 +1,7 @@
 package znn
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -78,6 +79,59 @@ func TestNetworkConcurrentInfer(t *testing.T) {
 	}
 	for i := range diffs {
 		t.Fatalf("concurrent Infer on input %d differs from serialized Forward", i)
+	}
+}
+
+// TestNetworkInferBatchFused checks the fused serving entry point: one
+// K-wide round returns per-volume outputs in order, bit-identical to
+// one-at-a-time inference, including from concurrent callers (runs under
+// the CI -race job).
+func TestNetworkInferBatchFused(t *testing.T) {
+	n, err := NewNetwork("C3-Ttanh-C3", Config{
+		Width: 2, OutputPatch: 6, Workers: 4, Seed: 41, Conv: ForceFFT,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	const k = 4
+	inputs := make([]*Tensor, k)
+	want := make([]*Tensor, k)
+	for i := range inputs {
+		inputs[i] = tensor.RandomUniform(rng, n.InputShape(), -1, 1)
+		outs, err := n.Infer(inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = outs[0]
+	}
+
+	const goroutines = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs, err := n.InferBatchFused(inputs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range outs {
+				if !outs[i].Equal(want[i]) {
+					errs <- fmt.Errorf("fused output %d differs from serial Infer", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

@@ -145,3 +145,52 @@ func InferThroughput(b *testing.B, workers, inflight int) {
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "vols/s")
 }
+
+// InferFused measures batched serving throughput on the InferThroughput
+// shape class: each benchmark op dispatches the same K volumes either as
+// ONE fused K-wide round (batch a first-class property of the round — one
+// kernel-spectrum fetch per edge feeds K pointwise products, one inverse
+// transform per (node, volume)) or as K independent rounds in flight (the
+// pre-fusion serving regime). Reports vols/s; like every speedup
+// experiment here, the fused/independent ratio is bandwidth- and
+// core-count-bound, so the win shows on ≥4-core hosts where K independent
+// rounds re-stream every layer's kernel spectra K times through a shared
+// cache hierarchy.
+func InferFused(b *testing.B, workers, k int, fused bool) {
+	nw, err := net.Build(net.MustParse("C5-Ttanh-C3"), net.BuildOptions{
+		Width: 2, InputExtent: 26,
+		Tuner: &conv.Autotuner{Policy: conv.TuneForceFFT},
+		Seed:  17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	en, err := train.NewEngine(nw.G, train.Config{Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer en.Close()
+	rng := rand.New(rand.NewSource(18))
+	batch := make([][]*tensor.Tensor, k)
+	for i := range batch {
+		batch[i] = []*tensor.Tensor{tensor.RandomUniform(rng, nw.InputShape(), -1, 1)}
+	}
+	// Warm kernel spectra and pools outside the timed region.
+	if _, err := en.InferFused(batch); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fused {
+			if _, err := en.InferFused(batch); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := en.InferBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*k)/b.Elapsed().Seconds(), "vols/s")
+}

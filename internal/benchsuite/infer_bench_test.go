@@ -18,3 +18,18 @@ func BenchmarkInferThroughput(b *testing.B) {
 	b.Run("Serial", func(b *testing.B) { InferThroughput(b, workers, 1) })
 	b.Run("Inflight8", func(b *testing.B) { InferThroughput(b, workers, 8) })
 }
+
+// BenchmarkInferFused pairs one fused K=8 round per dispatch against 8
+// independent rounds in flight, at the same worker count. The acceptance
+// shape: on a ≥4-core host the fused side should win on vols/s (each
+// layer's kernel spectra stream through cache once per batch instead of
+// once per volume); a 1-core host measures ≈ parity, core-count-bound like
+// every other speedup experiment in this repo.
+func BenchmarkInferFused(b *testing.B) {
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	b.Run("Independent8", func(b *testing.B) { InferFused(b, workers, 8, false) })
+	b.Run("Fused8", func(b *testing.B) { InferFused(b, workers, 8, true) })
+}

@@ -20,28 +20,84 @@ type spectrumKey struct {
 	prec   Precision
 }
 
-// SpectrumCache shares the forward FFT of one node's image among all edges
-// that consume it ("the FFT of an image at a node can be shared by edges at
-// that node", Section IV). The cache is keyed by transform shape,
+// SpectrumCache shares the forward FFTs of one node's images among all
+// edges that consume them ("the FFT of an image at a node can be shared by
+// edges at that node", Section IV). The cache is keyed by transform shape,
 // packedness and precision so a node feeding layers with different kernel
-// sizes or dtypes keeps one spectrum per combination.
+// sizes or dtypes keeps one spectrum per combination; it is batch-aware, so
+// a fused K-volume inference round holds one image — and lazily one
+// spectrum per key — per volume. The batched spectrum-sharing contract: a
+// node's K images are published together (ResetBatch), every consuming edge
+// sees the same K buffers (GetBatch/GetAt), and the buffers are immutable
+// until the next Reset or ReleaseAll.
 //
-// Cached buffers are garbage-collected rather than pooled: memoizing edges
-// retain references across the round boundary (the update task may run
-// lazily during the next forward pass), so explicit reclamation would need
-// reference counting for no measurable benefit.
+// Two allocation regimes coexist. Training rounds use GC-managed buffers:
+// memoizing edges retain references across the round boundary (the update
+// task may run lazily during the next forward pass), so explicit
+// reclamation would need reference counting. Inference rounds never memoize
+// and own a cache per round, so they run pooled (SetPooled): buffers come
+// from the spectra pool of their precision and return to it through the
+// round's release hook (ReleaseAll), killing the per-round spectrum garbage
+// that sustained serving traffic otherwise produces.
 type SpectrumCache struct {
 	mu      sync.Mutex
-	img     *tensor.Tensor
-	entries map[spectrumKey]fft.Spectrum
+	pooled  bool
+	imgs    []*tensor.Tensor
+	single  [1]*tensor.Tensor // backing array for the K=1 Reset fast path
+	entries map[spectrumKey][]fft.Spectrum
 }
 
-// Reset points the cache at a new image, discarding cached spectra.
+// SetPooled selects the pooled allocation regime. It must be called before
+// the first Get; pairing every pooled cache with a ReleaseAll is the
+// caller's responsibility (RoundState.release is the engine's hook).
+func (sc *SpectrumCache) SetPooled(pooled bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.pooled = pooled
+}
+
+// Reset points the cache at a new single image, discarding cached spectra
+// (pooled buffers return to their pool).
 func (sc *SpectrumCache) Reset(img *tensor.Tensor) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	sc.img = img
+	sc.single[0] = img
+	sc.imgs = sc.single[:]
+	sc.dropLocked()
+}
+
+// ResetBatch points the cache at the K images of one fused round's node,
+// discarding cached spectra. The slice is retained, not copied.
+func (sc *SpectrumCache) ResetBatch(imgs []*tensor.Tensor) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.imgs = imgs
+	sc.dropLocked()
+}
+
+// dropLocked discards all cached spectra, returning pooled buffers to
+// their pool. Caller holds sc.mu.
+func (sc *SpectrumCache) dropLocked() {
+	if sc.pooled {
+		for _, specs := range sc.entries {
+			for _, s := range specs {
+				if !s.IsNil() {
+					s.Release()
+				}
+			}
+		}
+	}
 	sc.entries = nil
+}
+
+// ReleaseAll discards every cached spectrum; pooled buffers go back to the
+// spectra pool of their precision. This is the inference round's release
+// hook — it must only run once no task can still read the buffers (after
+// the round's task tree completed).
+func (sc *SpectrumCache) ReleaseAll() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.dropLocked()
 }
 
 // Get returns the spectrum of the cached image at transform shape m —
@@ -49,36 +105,81 @@ func (sc *SpectrumCache) Reset(img *tensor.Tensor) {
 // given precision — computing it on first use. The returned buffer is
 // shared and must be treated as immutable.
 func (sc *SpectrumCache) Get(m tensor.Shape, packed bool, prec Precision, c *Counters) fft.Spectrum {
+	return sc.GetAt(0, m, packed, prec, c)
+}
+
+// GetAt is Get for volume i of a batched cache.
+func (sc *SpectrumCache) GetAt(i int, m tensor.Shape, packed bool, prec Precision, c *Counters) fft.Spectrum {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	if sc.img == nil {
+	return sc.getLocked(i, m, packed, prec, c)
+}
+
+// GetBatch returns the spectra of all K cached images at one key,
+// computing missing ones under a single lock hold — the entry point for
+// batched transformer sweeps, where one kernel-spectrum fetch feeds K
+// pointwise products. The returned slice is shared; treat it and every
+// buffer as immutable.
+func (sc *SpectrumCache) GetBatch(m tensor.Shape, packed bool, prec Precision, c *Counters) []fft.Spectrum {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for i := range sc.imgs {
+		sc.getLocked(i, m, packed, prec, c)
+	}
+	return sc.entries[spectrumKey{m: m, packed: packed, prec: prec}]
+}
+
+// getLocked computes-or-returns the spectrum of image i at the key.
+// Caller holds sc.mu.
+func (sc *SpectrumCache) getLocked(i int, m tensor.Shape, packed bool, prec Precision, c *Counters) fft.Spectrum {
+	if len(sc.imgs) == 0 || sc.imgs[i] == nil {
 		panic("conv: SpectrumCache.Get before Reset")
 	}
 	key := spectrumKey{m: m, packed: packed, prec: prec}
-	if buf, ok := sc.entries[key]; ok {
-		return buf
+	specs := sc.entries[key]
+	if specs == nil {
+		specs = make([]fft.Spectrum, len(sc.imgs))
+		if sc.entries == nil {
+			sc.entries = map[spectrumKey][]fft.Spectrum{}
+		}
+		sc.entries[key] = specs
+	}
+	if !specs[i].IsNil() {
+		return specs[i]
 	}
 	var buf fft.Spectrum
 	switch {
 	case packed && prec == PrecF32:
-		b := make([]complex64, fft.PackedVolume(m))
-		fft.NewPlan3ROf[float32, complex64](m).ForwardF64(b, sc.img)
+		var b []complex64
+		if sc.pooled {
+			b = mempool.Spectra32.Get(fft.PackedVolume(m))
+		} else {
+			b = make([]complex64, fft.PackedVolume(m))
+		}
+		fft.NewPlan3ROf[float32, complex64](m).ForwardF64(b, sc.imgs[i])
 		buf = fft.Spec64(b)
 	case packed:
-		b := make([]complex128, fft.PackedVolume(m))
-		fft.NewPlan3R(m).Forward(b, sc.img)
+		var b []complex128
+		if sc.pooled {
+			b = mempool.Spectra.Get(fft.PackedVolume(m))
+		} else {
+			b = make([]complex128, fft.PackedVolume(m))
+		}
+		fft.NewPlan3R(m).Forward(b, sc.imgs[i])
 		buf = fft.Spec128(b)
 	default:
-		b := make([]complex128, m.Volume())
-		fft.LoadReal(b, m, sc.img)
+		var b []complex128
+		if sc.pooled {
+			b = mempool.Spectra.Get(m.Volume())
+		} else {
+			b = make([]complex128, m.Volume())
+		}
+		fft.LoadReal(b, m, sc.imgs[i])
 		fft.NewPlan3(m).Forward(b)
 		buf = fft.Spec128(b)
 	}
 	c.addFFT(m, packed, prec == PrecF32)
-	if sc.entries == nil {
-		sc.entries = map[spectrumKey]fft.Spectrum{}
-	}
-	sc.entries[key] = buf
+	specs[i] = buf
 	return buf
 }
 
@@ -361,6 +462,79 @@ func (t *Transformer) Forward(img, ker *tensor.Tensor, sc *SpectrumCache) *tenso
 // no update to subsidize anyway).
 func (t *Transformer) ForwardInfer(img, ker *tensor.Tensor, sc *SpectrumCache) *tensor.Tensor {
 	return t.forward(img, ker, sc, false)
+}
+
+// ForwardInferBatch is ForwardInfer over the K volumes of one fused
+// inference round: the kernel spectrum is fetched (and, after an
+// invalidation, recomputed) once and streams through the K pointwise
+// products and inverse transforms, instead of being re-read per volume —
+// the ZNNi batching observation that wins CPU inference throughput. sc,
+// when non-nil, must be a batch cache holding the same K images. Like
+// ForwardInfer it never touches the memo slots.
+func (t *Transformer) ForwardInferBatch(imgs []*tensor.Tensor, ker *tensor.Tensor, sc *SpectrumCache) []*tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(imgs))
+	if t.mth == Direct {
+		for i, img := range imgs {
+			outs[i] = t.forward(img, ker, nil, false)
+		}
+		return outs
+	}
+	if ker.S != t.k {
+		panic(fmt.Sprintf("conv: kernel %v, want %v", ker.S, t.k))
+	}
+	imgFs := t.batchSpectra(imgs, sc)
+	kf, _ := t.kernelSpectra(ker)
+	ox, oy, oz := t.sp.X*(t.k.X-1), t.sp.Y*(t.k.Y-1), t.sp.Z*(t.k.Z-1)
+	for i := range imgs {
+		prod := t.specGet()
+		fft.MulSpecInto(prod, imgFs[i], kf)
+		t.cnt.addMul(t.m, t.packed)
+		out := tensor.New(t.out)
+		t.inverseStore(out, prod, ox, oy, oz)
+		prod.Release()
+		outs[i] = out
+	}
+	return outs
+}
+
+// ForwardProductInferBatch is ForwardProductInfer over the K volumes of one
+// fused inference round: one kernel-spectrum fetch feeds K pointwise
+// products (each into a pooled buffer whose ownership passes to the caller,
+// typically one wsum.ComplexSum per volume). The per-volume inverse
+// transforms happen at the accumulating node (FinishForward), one per
+// (node, volume).
+func (t *Transformer) ForwardProductInferBatch(imgs []*tensor.Tensor, ker *tensor.Tensor, sc *SpectrumCache) []fft.Spectrum {
+	if !t.mth.IsFFT() {
+		panic("conv: ForwardProductInferBatch on a direct-method transformer")
+	}
+	imgFs := t.batchSpectra(imgs, sc)
+	kf, _ := t.kernelSpectra(ker)
+	prods := make([]fft.Spectrum, len(imgs))
+	for i := range imgs {
+		prod := t.specGet()
+		fft.MulSpecInto(prod, imgFs[i], kf)
+		t.cnt.addMul(t.m, t.packed)
+		prods[i] = prod
+	}
+	return prods
+}
+
+// batchSpectra returns the K forward image spectra, shared through the
+// batch cache when one is supplied.
+func (t *Transformer) batchSpectra(imgs []*tensor.Tensor, sc *SpectrumCache) []fft.Spectrum {
+	for _, img := range imgs {
+		if img.S != t.in {
+			panic(fmt.Sprintf("conv: forward image %v, want %v", img.S, t.in))
+		}
+	}
+	if sc != nil {
+		return sc.GetBatch(t.m, t.packed, t.prec, t.cnt)
+	}
+	specs := make([]fft.Spectrum, len(imgs))
+	for i, img := range imgs {
+		specs[i] = t.newSpec(img)
+	}
+	return specs
 }
 
 func (t *Transformer) forward(img, ker *tensor.Tensor, sc *SpectrumCache, memo bool) *tensor.Tensor {

@@ -44,6 +44,18 @@
 //
 // Plans are safe for concurrent use by multiple workers; per-call scratch
 // comes from sync.Pool so steady-state transforms do not allocate.
+//
+// # Batched spectrum sharing
+//
+// The Spectrum handle (dtype-tagged, pool-aware via Release) is the unit
+// the engine moves between layers; batched inference extends the sharing
+// contract one axis: a fused K-volume round materializes K spectra per
+// (node, transform shape) — one per volume, shared immutably by every
+// consuming edge — while each edge's kernel spectrum is loaded once per
+// sweep and multiplied against all K. The plans themselves are unchanged:
+// batching is a buffer-lifetime protocol (conv.SpectrumCache), not a
+// transform variant, and one inverse transform still runs per
+// (node, volume).
 package fft
 
 import (

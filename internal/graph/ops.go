@@ -54,6 +54,32 @@ type Op interface {
 	Backward(grad *tensor.Tensor, ctx *BwdCtx) *tensor.Tensor
 }
 
+// BatchForwarder is implemented by ops that can sweep the K volumes of one
+// fused inference round in a single call, amortizing per-call setup (for
+// convolution edges: one kernel-spectrum fetch feeding K pointwise
+// products) across the batch. It is only invoked with ctx.Infer set — the
+// batched sweep stores no per-round op state.
+type BatchForwarder interface {
+	ForwardBatch(ins []*tensor.Tensor, ctx *FwdCtx) []*tensor.Tensor
+}
+
+// ForwardBatch applies op to each of the K volumes of a fused inference
+// round, using the op's batched sweep when it has one and a per-volume
+// loop otherwise. ctx must mark an inference round.
+func ForwardBatch(op Op, ins []*tensor.Tensor, ctx *FwdCtx) []*tensor.Tensor {
+	if !ctx.infer() {
+		panic("graph: ForwardBatch outside an inference round")
+	}
+	if b, ok := op.(BatchForwarder); ok {
+		return b.ForwardBatch(ins, ctx)
+	}
+	outs := make([]*tensor.Tensor, len(ins))
+	for i, in := range ins {
+		outs[i] = op.Forward(in, ctx)
+	}
+	return outs
+}
+
 // Trainable is implemented by ops with parameters (convolution kernels,
 // transfer-function biases).
 type Trainable interface {
@@ -112,6 +138,15 @@ func (o *ConvOp) Forward(in *tensor.Tensor, ctx *FwdCtx) *tensor.Tensor {
 		return o.Tr.ForwardInfer(in, o.Kernel, sc)
 	}
 	return o.Tr.Forward(in, o.Kernel, sc)
+}
+
+// ForwardBatch sweeps the K volumes of a fused inference round through the
+// edge with a single kernel-spectrum fetch (see conv.ForwardInferBatch).
+func (o *ConvOp) ForwardBatch(ins []*tensor.Tensor, ctx *FwdCtx) []*tensor.Tensor {
+	if !ctx.infer() {
+		panic("graph: ConvOp.ForwardBatch outside an inference round")
+	}
+	return o.Tr.ForwardInferBatch(ins, o.Kernel, ctx.Spectra)
 }
 
 // Backward computes the full convolution with the reflected kernel.
@@ -174,6 +209,15 @@ func (o *TransferOp) Forward(in *tensor.Tensor, ctx *FwdCtx) *tensor.Tensor {
 		o.fwdOut = out
 	}
 	return out
+}
+
+// ForwardBatch applies the transfer to the K volumes of a fused inference
+// round (no Jacobian stores — there is no backward pass to consume them).
+func (o *TransferOp) ForwardBatch(ins []*tensor.Tensor, ctx *FwdCtx) []*tensor.Tensor {
+	if !ctx.infer() {
+		panic("graph: TransferOp.ForwardBatch outside an inference round")
+	}
+	return ops.TransferForwardBatch(o.F, ins, o.Bias)
 }
 
 // Backward multiplies the backward image by f′ evaluated at the stored

@@ -9,6 +9,11 @@ package sched
 // when a single small or narrow network exposes fewer than worker-count
 // independent tasks.
 //
+// A round's task count is not fixed per graph: a fused inference round
+// carrying K volumes spawns per-volume inverse-transform tasks, so its
+// pending counts scale with K — the per-round counter and completion
+// channel absorb that without any global bookkeeping.
+//
 // A Round attributes only Work tasks (forward, backward, provider, loss);
 // Update tasks apply parameter gradients lazily across round boundaries
 // (Algorithm 1's FORCE), so they are deliberately global — they belong to
@@ -59,6 +64,44 @@ func (r *Round) Spawn(kind Kind, prio int64, fn func()) *Task {
 	t := r.NewTask(kind, prio, fn)
 	r.e.Enqueue(t)
 	return t
+}
+
+// TaskSpec describes one task of a SpawnBatch group.
+type TaskSpec struct {
+	Prio int64
+	Fn   func()
+}
+
+// SpawnBatch allocates and enqueues a group of Work tasks attributed to the
+// round under a single engine-lock acquisition and a single worker wake-up
+// broadcast. Fused K-volume inference rounds use it at every fan-out point:
+// their task groups (out-edge sweeps, per-volume inverse transforms) and
+// therefore the round's pending counts scale with the batch width K, so
+// per-task lock traffic on the shared engine would otherwise scale with K
+// too.
+func (r *Round) SpawnBatch(specs []TaskSpec) {
+	if len(specs) == 0 {
+		return
+	}
+	tasks := make([]*Task, len(specs))
+	r.e.mu.Lock()
+	for i, s := range specs {
+		t := &Task{fn: s.Fn, kind: Work, prio: s.Prio, engine: r.e, round: r}
+		r.e.pendingWork++
+		r.pendingWork++
+		r.spawned++
+		tasks[i] = t
+	}
+	r.e.mu.Unlock()
+	for _, t := range tasks {
+		t.mu.Lock()
+		t.state = Queued
+		t.mu.Unlock()
+		r.e.strategy.Push(t.prio, t)
+	}
+	r.e.mu.Lock()
+	r.e.workAvailable.Broadcast()
+	r.e.mu.Unlock()
 }
 
 // Wait blocks until none of the round's Work tasks remain pending. Other

@@ -68,7 +68,7 @@ func (en *Engine) SetTraining(training bool) {
 func (en *Engine) Round(inputs, desired []*tensor.Tensor) (float64, error) {
 	en.p.roundMu.Lock()
 	defer en.p.roundMu.Unlock()
-	rs, err := en.p.newRound(inputs, desired, true, false)
+	rs, err := en.p.newRound([][]*tensor.Tensor{inputs}, desired, true, false)
 	if err != nil {
 		return 0, err
 	}
@@ -97,7 +97,7 @@ func (en *Engine) Round(inputs, desired []*tensor.Tensor) (float64, error) {
 func (en *Engine) Forward(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	en.p.roundMu.Lock()
 	defer en.p.roundMu.Unlock()
-	rs, err := en.p.newRound(inputs, nil, false, false)
+	rs, err := en.p.newRound([][]*tensor.Tensor{inputs}, nil, false, false)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +125,7 @@ func (en *Engine) Forward(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 func (en *Engine) Infer(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	release := en.p.acquireInfer()
 	defer release()
-	rs, err := en.p.newRound(inputs, nil, false, true)
+	rs, err := en.p.newRound([][]*tensor.Tensor{inputs}, nil, false, true)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +154,7 @@ func (en *Engine) InferBatch(batch [][]*tensor.Tensor) ([][]*tensor.Tensor, erro
 		wg.Add(1)
 		go func(i int, inputs []*tensor.Tensor) {
 			defer wg.Done()
-			rs, err := en.p.newRound(inputs, nil, false, true)
+			rs, err := en.p.newRound([][]*tensor.Tensor{inputs}, nil, false, true)
 			if err != nil {
 				errs[i] = err
 				return
@@ -174,6 +174,38 @@ func (en *Engine) InferBatch(batch [][]*tensor.Tensor) ([][]*tensor.Tensor, erro
 	}
 	if err := en.p.sch.Err(); err != nil {
 		return nil, err
+	}
+	return outs, nil
+}
+
+// InferFused runs ONE K-wide fused inference round over the batch —
+// batch[v] is volume v's input slice — and returns each volume's outputs
+// in order. Where InferBatch keeps K independent rounds in flight (K full
+// sweeps of kernel-spectrum loads), the fused round sweeps all K volumes
+// at each (node, edge) step: one kernel-spectrum fetch per edge feeds K
+// pointwise products, and each summing node runs one inverse transform per
+// volume. Per-volume results are bit-identical to K serialized Forward
+// passes. A round error fails only this batch; like Infer, fused rounds
+// may themselves be in flight concurrently with other inference rounds.
+func (en *Engine) InferFused(batch [][]*tensor.Tensor) ([][]*tensor.Tensor, error) {
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	release := en.p.acquireInfer()
+	defer release()
+	rs, err := en.p.NewInferRound(batch)
+	if err != nil {
+		return nil, err
+	}
+	if err := rs.run(); err != nil {
+		return nil, err
+	}
+	if err := en.p.sch.Err(); err != nil {
+		return nil, err
+	}
+	outs := make([][]*tensor.Tensor, len(batch))
+	for v := range batch {
+		outs[v] = rs.OutputsAt(v)
 	}
 	return outs, nil
 }

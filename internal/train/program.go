@@ -38,6 +38,7 @@ import (
 	"znn/internal/graph"
 	"znn/internal/ops"
 	"znn/internal/sched"
+	"znn/internal/tensor"
 )
 
 // Config parameterizes a Program.
@@ -218,6 +219,18 @@ func (p *Program) Workers() int { return p.cfg.Workers }
 
 // Scheduler returns the program's shared scheduler (stats, draining).
 func (p *Program) Scheduler() *sched.Engine { return p.sch }
+
+// NewInferRound builds (without running) one K-wide fused inference round:
+// batch[v] is volume v's input slice in g.Inputs() order, and all K volumes
+// flow through a single task tree — each edge sweep loads the kernel
+// spectrum once for K pointwise products, and each summing node runs one
+// inverse transform per volume. The caller must hold an inference
+// admission (Engine.InferFused wraps admission, execution and output
+// demux; this constructor exists for callers composing their own round
+// lifecycle). K = 1 is exactly an ordinary inference round.
+func (p *Program) NewInferRound(batch [][]*tensor.Tensor) (*RoundState, error) {
+	return p.newRound(batch, nil, false, true)
+}
 
 // acquireInfer admits a forward-only round and returns the matching
 // release function. Normally it takes the round lock shared, first making

@@ -12,27 +12,40 @@ import (
 	"znn/internal/wsum"
 )
 
-// roundNode is the per-round runtime state of one graph node: the wait-free
-// accumulators (drawn from the wsum free lists, so N rounds in flight get
-// private sums), the round's spectrum caches, and the published images.
+// roundNode is the per-round runtime state of one graph node. The forward
+// side is K-wide — one wait-free accumulator, one published image and
+// (lazily) one cached spectrum per volume of the round's batch — while the
+// backward side stays singular: only training rounds run backward, and
+// training rounds are exclusive with K = 1. Accumulators come from the
+// wsum free lists, so N rounds in flight get private sums.
 type roundNode struct {
-	fwdSum  *wsum.Sum
-	bwdSum  *wsum.Sum
-	fwdCSum *wsum.ComplexSum
-	bwdCSum *wsum.ComplexSum
-	spectra conv.SpectrumCache // forward image spectra shared by out-edges
-	bwdSpec conv.SpectrumCache // backward image spectra shared by in-edges
+	fwdSums  []*wsum.Sum        // per-volume tensor accumulators
+	fwdCSums []*wsum.ComplexSum // per-volume spectral accumulators
+	bwdSum   *wsum.Sum
+	bwdCSum  *wsum.ComplexSum
+	spectra  conv.SpectrumCache // forward image spectra shared by out-edges (batch-aware)
+	bwdSpec  conv.SpectrumCache // backward image spectra shared by in-edges
 
-	mu     sync.Mutex
-	fwdImg *tensor.Tensor
-	bwdImg *tensor.Tensor
+	mu      sync.Mutex
+	fwdImgs []*tensor.Tensor // per-volume forward images
+	fwdLeft int              // volumes whose forward image is not yet published
+	bwdImg  *tensor.Tensor
 }
 
-func (rn *roundNode) setFwd(img *tensor.Tensor) {
+// completeFwd publishes volume v's forward image and reports whether it was
+// the node's last outstanding volume — the point where the node's batch
+// cache can be (re)pointed at the full image set and downstream edges fan
+// out over all K volumes at once.
+func (rn *roundNode) completeFwd(v int, img *tensor.Tensor) (allDone bool) {
 	rn.mu.Lock()
-	rn.fwdImg = img
+	rn.fwdImgs[v] = img
+	rn.fwdLeft--
+	allDone = rn.fwdLeft == 0
 	rn.mu.Unlock()
-	rn.spectra.Reset(img)
+	if allDone {
+		rn.spectra.ResetBatch(rn.fwdImgs)
+	}
+	return allDone
 }
 
 func (rn *roundNode) setBwd(img *tensor.Tensor) {
@@ -42,11 +55,15 @@ func (rn *roundNode) setBwd(img *tensor.Tensor) {
 	rn.bwdSpec.Reset(img)
 }
 
-// FwdImage returns the node's forward image from the round.
-func (rn *roundNode) FwdImage() *tensor.Tensor {
+// FwdImage returns the node's forward image for volume 0 — the whole image
+// on K=1 rounds, which is what the exclusive Round/Forward paths read.
+func (rn *roundNode) FwdImage() *tensor.Tensor { return rn.FwdImageAt(0) }
+
+// FwdImageAt returns the node's forward image for volume v.
+func (rn *roundNode) FwdImageAt(v int) *tensor.Tensor {
 	rn.mu.Lock()
 	defer rn.mu.Unlock()
-	return rn.fwdImg
+	return rn.fwdImgs[v]
 }
 
 // BwdImage returns the node's backward image from the round.
@@ -57,17 +74,24 @@ func (rn *roundNode) BwdImage() *tensor.Tensor {
 }
 
 // RoundState is one round in flight: a private fan-out of tasks over the
-// shared Program. Training rounds (backward = true) additionally carry the
-// desired outputs, the loss accumulator and backward sums; inference
-// rounds (infer = true) never allocate backward accumulators and never
-// touch cross-round op state, which is what lets many of them run
-// concurrently.
+// shared Program. The batch width K is a first-class property of the
+// round: a fused inference round carries K volumes through one task tree,
+// so each (node, edge) sweep loads the edge's kernel spectrum once for K
+// pointwise products and the node runs one inverse transform per volume
+// (the ZNNi/PZnet batching regime). Training rounds (backward = true)
+// additionally carry the desired outputs, the loss accumulator and
+// backward sums, and always have K = 1; inference rounds (infer = true)
+// never allocate backward accumulators and never touch cross-round op
+// state, which is what lets many of them run concurrently. K = 1 inference
+// rounds execute the exact code path they always did, so their outputs
+// stay bit-identical.
 type RoundState struct {
 	p        *Program
 	sr       *sched.Round
 	backward bool
 	infer    bool
-	inputs   []*tensor.Tensor
+	k        int                // batch width (volumes per round)
+	batch    [][]*tensor.Tensor // batch[v] is volume v's input images
 	desired  []*tensor.Tensor
 	nodes    []roundNode
 
@@ -77,19 +101,32 @@ type RoundState struct {
 }
 
 // newRound validates the round's inputs against the graph and allocates
-// the per-round state. Exactly one accumulator is drawn per summing node
-// side — the spectral one when the node's edges sum in the FFT domain, the
-// tensor one otherwise — and backward accumulators only for training
-// rounds, so forward-only rounds allocate strictly less.
-func (p *Program) newRound(inputs, desired []*tensor.Tensor, backward, infer bool) (*RoundState, error) {
-	if len(inputs) != len(p.inputs) {
-		return nil, fmt.Errorf("train: got %d inputs, graph has %d input nodes",
-			len(inputs), len(p.inputs))
+// the per-round state. batch holds one input slice per volume; only
+// inference rounds may carry more than one volume. Exactly one accumulator
+// per volume is drawn per summing node side — the spectral one when the
+// node's edges sum in the FFT domain, the tensor one otherwise — and
+// backward accumulators only for training rounds, so forward-only rounds
+// allocate strictly less. Inference rounds run their spectrum caches
+// pooled: they never memoize, so the buffers can return to the spectra
+// pools through the release hook instead of becoming per-round garbage.
+func (p *Program) newRound(batch [][]*tensor.Tensor, desired []*tensor.Tensor, backward, infer bool) (*RoundState, error) {
+	k := len(batch)
+	if k == 0 {
+		return nil, fmt.Errorf("train: empty round batch")
 	}
-	for i, in := range inputs {
-		if in.S != p.inputs[i].Shape {
-			return nil, fmt.Errorf("train: input %d shape %v, want %v",
-				i, in.S, p.inputs[i].Shape)
+	if k > 1 && !infer {
+		return nil, fmt.Errorf("train: batch width %d on a non-inference round (training rounds are K=1)", k)
+	}
+	for v, inputs := range batch {
+		if len(inputs) != len(p.inputs) {
+			return nil, fmt.Errorf("train: volume %d: got %d inputs, graph has %d input nodes",
+				v, len(inputs), len(p.inputs))
+		}
+		for i, in := range inputs {
+			if in.S != p.inputs[i].Shape {
+				return nil, fmt.Errorf("train: volume %d: input %d shape %v, want %v",
+					v, i, in.S, p.inputs[i].Shape)
+			}
 		}
 	}
 	if backward {
@@ -109,7 +146,8 @@ func (p *Program) newRound(inputs, desired []*tensor.Tensor, backward, infer boo
 		sr:          p.sch.NewRound(),
 		backward:    backward,
 		infer:       infer,
-		inputs:      inputs,
+		k:           k,
+		batch:       batch,
 		desired:     desired,
 		nodes:       make([]roundNode, len(p.nodes)),
 		outputsLeft: len(p.outputs),
@@ -117,11 +155,22 @@ func (p *Program) newRound(inputs, desired []*tensor.Tensor, backward, infer boo
 	for i := range p.nodes {
 		ni := &p.nodes[i]
 		rn := &rs.nodes[i]
+		rn.fwdImgs = make([]*tensor.Tensor, k)
+		rn.fwdLeft = k
+		if infer {
+			rn.spectra.SetPooled(true)
+		}
 		if fanIn := len(ni.n.In); fanIn > 0 {
 			if ni.fwdSpectral {
-				rn.fwdCSum = wsum.GetComplex(fanIn)
+				rn.fwdCSums = make([]*wsum.ComplexSum, k)
+				for v := range rn.fwdCSums {
+					rn.fwdCSums[v] = wsum.GetComplex(fanIn)
+				}
 			} else {
-				rn.fwdSum = wsum.Get(fanIn)
+				rn.fwdSums = make([]*wsum.Sum, k)
+				for v := range rn.fwdSums {
+					rn.fwdSums[v] = wsum.Get(fanIn)
+				}
 			}
 		}
 		if fanOut := len(ni.n.Out); backward && fanOut > 0 {
@@ -138,21 +187,28 @@ func (p *Program) newRound(inputs, desired []*tensor.Tensor, backward, infer boo
 // run executes the round to completion: it spawns the data-provider task
 // (Fig. 3, orange node) and waits for the round's own task tree — other
 // rounds in flight and lazy update tasks are not waited on. The
-// accumulators return to their free lists before run returns; the
-// published images in rs.nodes stay valid. The returned error is
-// round-local (sched attributes a round task's panic to its Round), so
-// one failing round in flight does not poison concurrent or later rounds;
-// update-task panics stay on the engine's sticky error, surfaced by the
-// exclusive entry points and Drain/Close.
+// accumulators return to their free lists — and pooled spectrum-cache
+// buffers to the spectra pools — before run returns; the published images
+// in rs.nodes stay valid. The returned error is round-local (sched
+// attributes a round task's panic to its Round), so one failing round in
+// flight does not poison concurrent or later rounds; update-task panics
+// stay on the engine's sticky error, surfaced by the exclusive entry
+// points and Drain/Close.
 func (rs *RoundState) run() error {
 	providerPrio := int64(1 << 30) // runs before any forward task
 	rs.sr.Spawn(sched.Work, providerPrio, func() {
-		for i, in := range rs.inputs {
-			node := rs.p.inputs[i]
-			rs.nodes[node.ID].setFwd(in)
-			for _, e := range node.Out {
-				rs.spawnForward(e, in)
+		for i, node := range rs.p.inputs {
+			rn := &rs.nodes[node.ID]
+			imgs := make([]*tensor.Tensor, rs.k)
+			for v := range rs.batch {
+				imgs[v] = rs.batch[v][i]
 			}
+			rn.mu.Lock()
+			copy(rn.fwdImgs, imgs)
+			rn.fwdLeft = 0
+			rn.mu.Unlock()
+			rn.spectra.ResetBatch(rn.fwdImgs)
+			rs.fanOutForward(node, imgs)
 		}
 	})
 	rs.sr.Wait()
@@ -160,39 +216,56 @@ func (rs *RoundState) run() error {
 	return rs.sr.Err()
 }
 
-// release returns the round's accumulators to the wsum free lists. Called
-// after the round's task tree has completed, so no task can still touch
-// them; the image tensors the sums produced are owned by rs.nodes now.
+// release returns the round's accumulators to the wsum free lists and, on
+// inference rounds, the spectrum-cache buffers to the spectra pools (the
+// pooled-cache release hook). Called after the round's task tree has
+// completed, so no task can still touch them; the image tensors the sums
+// produced are owned by rs.nodes now.
 func (rs *RoundState) release() {
 	for i := range rs.nodes {
 		rn := &rs.nodes[i]
-		if rn.fwdSum != nil {
-			rn.fwdSum.Release()
-			rn.fwdSum = nil
+		for v, s := range rn.fwdSums {
+			if s != nil {
+				s.Release()
+				rn.fwdSums[v] = nil
+			}
+		}
+		for v, s := range rn.fwdCSums {
+			if s != nil {
+				s.Release()
+				rn.fwdCSums[v] = nil
+			}
 		}
 		if rn.bwdSum != nil {
 			rn.bwdSum.Release()
 			rn.bwdSum = nil
 		}
-		if rn.fwdCSum != nil {
-			rn.fwdCSum.Release()
-			rn.fwdCSum = nil
-		}
 		if rn.bwdCSum != nil {
 			rn.bwdCSum.Release()
 			rn.bwdCSum = nil
 		}
+		if rs.infer {
+			rn.spectra.ReleaseAll()
+			rn.bwdSpec.ReleaseAll()
+		}
 	}
 }
 
-// Outputs returns the round's output images in g.Outputs() order.
-func (rs *RoundState) Outputs() []*tensor.Tensor {
+// Outputs returns the round's output images in g.Outputs() order (volume 0
+// — the whole result of a K=1 round).
+func (rs *RoundState) Outputs() []*tensor.Tensor { return rs.OutputsAt(0) }
+
+// OutputsAt returns volume v's output images in g.Outputs() order.
+func (rs *RoundState) OutputsAt(v int) []*tensor.Tensor {
 	outs := make([]*tensor.Tensor, len(rs.p.outputs))
 	for i, o := range rs.p.outputs {
-		outs[i] = rs.nodes[o.ID].FwdImage()
+		outs[i] = rs.nodes[o.ID].FwdImageAt(v)
 	}
 	return outs
 }
+
+// Width returns the round's batch width K.
+func (rs *RoundState) Width() int { return rs.k }
 
 // Loss returns the loss computed by the round's loss-gradient task.
 func (rs *RoundState) Loss() float64 {
@@ -201,64 +274,108 @@ func (rs *RoundState) Loss() float64 {
 	return rs.loss
 }
 
-// spawnForward enqueues the forward task of edge e consuming image I
-// (Algorithm 1, FORWARD-TASK + FORCE). Inference rounds skip the FORCE
-// bookkeeping entirely: acquireInfer drained all pending update tasks
-// before the round was admitted, so there is nothing to force and no
-// cross-round edge state to touch.
-func (rs *RoundState) spawnForward(e *graph.Edge, img *tensor.Tensor) {
-	if rs.infer {
-		rs.sr.Spawn(sched.Work, e.To.FwdPrio, func() {
-			rs.doForward(e, img)
-		})
-		return
+// fanOutForward enqueues the forward tasks of node's out-edges, each
+// consuming the node's K published images, as one scheduler batch (a fused
+// round's task counts scale with K, so per-task lock traffic would too).
+// Inference rounds skip the FORCE bookkeeping entirely: acquireInfer
+// drained all pending update tasks before the round was admitted, so there
+// is nothing to force and no cross-round edge state to touch (Algorithm 1,
+// FORWARD-TASK + FORCE).
+func (rs *RoundState) fanOutForward(n *graph.Node, imgs []*tensor.Tensor) {
+	specs := make([]sched.TaskSpec, len(n.Out))
+	for i, e := range n.Out {
+		e := e
+		if rs.infer {
+			specs[i] = sched.TaskSpec{Prio: e.To.FwdPrio, Fn: func() {
+				rs.doForward(e, imgs)
+			}}
+			continue
+		}
+		es := rs.p.edges[e.ID]
+		specs[i] = sched.TaskSpec{Prio: e.To.FwdPrio, Fn: func() {
+			sub := rs.sr.NewTask(sched.Work, e.To.FwdPrio, func() {
+				rs.doForward(e, imgs)
+			})
+			rs.p.sch.Force(es.pendingUpdate(), sub)
+		}}
 	}
-	es := rs.p.edges[e.ID]
-	rs.sr.Spawn(sched.Work, e.To.FwdPrio, func() {
-		sub := rs.sr.NewTask(sched.Work, e.To.FwdPrio, func() {
-			rs.doForward(e, img)
-		})
-		rs.p.sch.Force(es.pendingUpdate(), sub)
-	})
+	rs.sr.SpawnBatch(specs)
 }
 
-// doForward is Algorithm 1's DO-FORWARD.
-func (rs *RoundState) doForward(e *graph.Edge, img *tensor.Tensor) {
+// doForward is Algorithm 1's DO-FORWARD, swept across the round's K
+// volumes: the edge's kernel spectrum is fetched once and feeds K
+// pointwise products (or the op's batched sweep), and each volume joins
+// its own per-volume accumulator at the target node.
+func (rs *RoundState) doForward(e *graph.Edge, imgs []*tensor.Tensor) {
 	us := &rs.nodes[e.From.ID]
 	vs := &rs.nodes[e.To.ID]
-	var sum *tensor.Tensor
 	if rs.p.nodes[e.To.ID].fwdSpectral {
 		op := e.Op.(*graph.ConvOp)
+		if rs.infer && rs.k > 1 {
+			prods := op.Tr.ForwardProductInferBatch(imgs, op.Kernel, &us.spectra)
+			for v, prod := range prods {
+				if vs.fwdCSums[v].Add(prod) {
+					// One inverse transform per (node, volume), each its
+					// own task: the inverses of a completed batch run in
+					// parallel instead of serializing on the sweeping task.
+					v := v
+					rs.sr.Spawn(sched.Work, e.To.FwdPrio, func() {
+						rs.finishForward(e, v, op.Tr.FinishForward(vs.fwdCSums[v].Value()))
+					})
+				}
+			}
+			return
+		}
 		var prod fft.Spectrum
 		if rs.infer {
-			prod = op.Tr.ForwardProductInfer(img, op.Kernel, &us.spectra)
+			prod = op.Tr.ForwardProductInfer(imgs[0], op.Kernel, &us.spectra)
 		} else {
-			prod = op.Tr.ForwardProduct(img, op.Kernel, &us.spectra)
+			prod = op.Tr.ForwardProduct(imgs[0], op.Kernel, &us.spectra)
 		}
-		if !vs.fwdCSum.Add(prod) {
+		if !vs.fwdCSums[0].Add(prod) {
 			return
 		}
-		sum = op.Tr.FinishForward(vs.fwdCSum.Value())
-	} else {
-		out := e.Op.Forward(img, &graph.FwdCtx{Spectra: &us.spectra, Infer: rs.infer})
-		if !vs.fwdSum.Add(out) {
-			return
-		}
-		sum = vs.fwdSum.Value()
+		rs.finishForward(e, 0, op.Tr.FinishForward(vs.fwdCSums[0].Value()))
+		return
 	}
-	vs.setFwd(sum)
+	ctx := &graph.FwdCtx{Spectra: &us.spectra, Infer: rs.infer}
+	if rs.infer && rs.k > 1 {
+		outs := graph.ForwardBatch(e.Op, imgs, ctx)
+		for v, out := range outs {
+			if vs.fwdSums[v].Add(out) {
+				rs.finishForward(e, v, vs.fwdSums[v].Value())
+			}
+		}
+		return
+	}
+	out := e.Op.Forward(imgs[0], ctx)
+	if !vs.fwdSums[0].Add(out) {
+		return
+	}
+	rs.finishForward(e, 0, vs.fwdSums[0].Value())
+}
+
+// finishForward publishes volume v's completed image at edge e's target
+// node; the node's last volume triggers the downstream fan-out (or output
+// accounting).
+func (rs *RoundState) finishForward(e *graph.Edge, v int, img *tensor.Tensor) {
+	vs := &rs.nodes[e.To.ID]
+	if !vs.completeFwd(v, img) {
+		return
+	}
 	if e.To.IsOutput() {
 		rs.outputReady()
 		return
 	}
-	for _, e2 := range e.To.Out {
-		rs.spawnForward(e2, sum)
-	}
+	vs.mu.Lock()
+	imgs := vs.fwdImgs
+	vs.mu.Unlock()
+	rs.fanOutForward(e.To, imgs)
 }
 
-// outputReady fires when one output node's forward sum completes; on
-// training rounds the last one spawns the loss-gradient task (Fig. 3, dark
-// red nodes).
+// outputReady fires when one output node's forward images complete for all
+// K volumes; on training rounds the last output node spawns the
+// loss-gradient task (Fig. 3, dark red nodes).
 func (rs *RoundState) outputReady() {
 	rs.mu.Lock()
 	rs.outputsLeft--
@@ -286,7 +403,8 @@ func (rs *RoundState) outputReady() {
 }
 
 // spawnBackward enqueues the backward task of edge e = (u, v) consuming the
-// backward image at v (Algorithm 2).
+// backward image at v (Algorithm 2). Backward runs only on training
+// rounds, which are K=1.
 func (rs *RoundState) spawnBackward(e *graph.Edge, img *tensor.Tensor) {
 	rs.sr.Spawn(sched.Work, e.From.BwdPrio, func() {
 		rs.doBackward(e, img)

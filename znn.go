@@ -285,6 +285,41 @@ func (n *Network) InferBatchMulti(batch [][]*Tensor) ([][]*Tensor, error) {
 	return n.en.InferBatch(batch)
 }
 
+// InferBatchFused runs the K input volumes through ONE K-wide fused
+// inference round and returns the first network output per volume, in
+// order. Where InferBatch keeps K independent rounds in flight — K full
+// sweeps of kernel-spectrum loads and per-node pointwise products — the
+// fused round makes the batch dimension a property of the round itself:
+// every layer's kernel spectrum streams through cache once per batch,
+// feeding K pointwise products, with one inverse transform per (node,
+// volume). That is the ZNNi/PZnet batching result for many-core CPU
+// inference throughput. Per-volume outputs are bit-identical to K
+// serialized Forward passes; a round error fails only this batch. Fused
+// rounds are themselves concurrency-safe alongside any other inference
+// calls.
+func (n *Network) InferBatchFused(inputs []*Tensor) ([]*Tensor, error) {
+	batch := make([][]*Tensor, len(inputs))
+	for i, in := range inputs {
+		batch[i] = []*Tensor{in}
+	}
+	outs, err := n.en.InferFused(batch)
+	if err != nil {
+		return nil, err
+	}
+	firsts := make([]*Tensor, len(outs))
+	for i, o := range outs {
+		firsts[i] = o[0]
+	}
+	return firsts, nil
+}
+
+// InferBatchFusedMulti is InferBatchFused for networks with multiple
+// inputs or outputs: batch[v] is volume v's full input slice, and the
+// result holds volume v's full output slice.
+func (n *Network) InferBatchFusedMulti(batch [][]*Tensor) ([][]*Tensor, error) {
+	return n.en.InferFused(batch)
+}
+
 // Forward runs an exclusive, stateful forward pass (dropout honours
 // SetTraining, ops record Jacobian state, pending updates are forced). It
 // exists for training-adjacent inspection; serving traffic should use
