@@ -11,15 +11,22 @@ import (
 
 	"znn/internal/benchsuite"
 	"znn/internal/conv"
+	"znn/internal/fft"
 )
 
-// benchRecord is one row of the machine-readable benchmark output.
+// benchRecord is one row of the machine-readable benchmark output. Arch
+// and Features pin each row to the instruction set it actually ran
+// ("avx2", "scalar", or "purego" — see fft.KernelPath), so trajectory
+// diffs across hosts and across the vector/scalar A/B rows stay
+// interpretable.
 type benchRecord struct {
-	Name    string `json:"name"`
-	Shape   string `json:"shape"`
-	NsOp    int64  `json:"ns_op"`
-	BytesOp int64  `json:"bytes_op"`          // allocated bytes per op
-	Workers int    `json:"workers,omitempty"` // scheduler workers, when the row uses them
+	Name     string `json:"name"`
+	Shape    string `json:"shape"`
+	NsOp     int64  `json:"ns_op"`
+	BytesOp  int64  `json:"bytes_op"`          // allocated bytes per op
+	Workers  int    `json:"workers,omitempty"` // scheduler workers, when the row uses them
+	Arch     string `json:"goarch"`
+	Features string `json:"features"`
 }
 
 // benchFile is the BENCH_<date>.json schema: metadata plus one record per
@@ -59,11 +66,13 @@ func jsonBenchmarks(cfg config) {
 		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
 		sort.Slice(bs, func(a, b int) bool { return bs[a] < bs[b] })
 		rec := benchRecord{
-			Name:    name,
-			Shape:   shape,
-			NsOp:    ns[runs/2],
-			BytesOp: bs[runs/2],
-			Workers: workers,
+			Name:     name,
+			Shape:    shape,
+			NsOp:     ns[runs/2],
+			BytesOp:  bs[runs/2],
+			Workers:  workers,
+			Arch:     runtime.GOARCH,
+			Features: fft.KernelPath(),
 		}
 		out.Results = append(out.Results, rec)
 		fmt.Printf("%-28s %-12s %12d ns/op %10d B/op\n", rec.Name, rec.Shape, rec.NsOp, rec.BytesOp)
@@ -84,6 +93,32 @@ func jsonBenchmarks(cfg config) {
 	add("spectral-round/f32", "96x96x96", cfg.workers, func(b *testing.B) {
 		benchsuite.SpectralRound96(b, conv.PrecF32, cfg.workers)
 	})
+
+	// Vector-kernel A/B for the f32 round: the same workload with the
+	// scalar kernel set force-installed, so the roundwise speedup of the
+	// lane-batched/AVX2 path is a first-class trajectory number rather
+	// than a one-off measurement. Restored before any later rows run.
+	if fft.SetVectorKernels(false) {
+		add("spectral-round/f32-scalar", "96x96x96", cfg.workers, func(b *testing.B) {
+			benchsuite.SpectralRound96(b, conv.PrecF32, cfg.workers)
+		})
+		fft.SetVectorKernels(true)
+	}
+
+	// Per-kernel microbenchmarks: the dispatched implementation next to
+	// its scalar reference (same workloads as the in-repo Benchmark*
+	// functions in internal/fft).
+	for _, c := range fft.KernelBenchCases() {
+		c := c
+		add("kernels/"+c.Name, "", 0, func(b *testing.B) {
+			benchsuite.Kernel(b, c, false)
+		})
+		fft.SetVectorKernels(false)
+		add("kernels/"+c.Name+"-scalar", "", 0, func(b *testing.B) {
+			benchsuite.Kernel(b, c, true)
+		})
+		fft.SetVectorKernels(true)
+	}
 
 	// Inference serving A/B: serialized Forward loop vs 8 rounds in
 	// flight at the same worker count (≥4, the acceptance shape — the

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"znn"
+	"znn/internal/fft"
 	"znn/internal/mempool"
 	"znn/internal/tensor"
 )
@@ -303,6 +304,11 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"pool_images":       poolWire(mempool.Images.Stats()),
 		"pool_spectra":      poolWire(mempool.Spectra.Stats()),
 		"pool_spectra_f32":  poolWire(mempool.Spectra32.Stats()),
+		// Which complex64 kernel set this process dispatched to ("avx2",
+		// "scalar", or "purego") and how many kernel calls it has made —
+		// the first thing to check when two hosts disagree on infer_ms_ew.
+		"kernel_path":       fft.KernelPath(),
+		"kernel_dispatches": fft.KernelDispatches(),
 	}
 	if s.batch != nil {
 		stats["batches"] = s.batch.batches.Load()

@@ -33,6 +33,19 @@ func FFT3R[R tensor.Real, C fft.Complex](b *testing.B, n int) {
 	}
 }
 
+// Kernel times one dispatchable-kernel micro-workload from
+// fft.KernelBenchCases — the per-kernel A/B (installed implementation vs
+// scalar Go reference) behind the roundwise spectral speedups.
+func Kernel(b *testing.B, c fft.KernelBenchCase, scalar bool) {
+	b.SetBytes(c.Bytes)
+	b.ResetTimer()
+	if scalar {
+		c.RunScalar(b.N)
+	} else {
+		c.Run(b.N)
+	}
+}
+
 // SpectralRound96 measures one spectral training round of the 96³-class
 // precision A/B: a 3D C5 layer with input extent 92 (FullConv 92+4 = 96,
 // already 5-smooth, so the common transform shape is 96³), 2×2 edges with

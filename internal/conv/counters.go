@@ -96,32 +96,42 @@ func (c *Counters) addDirect(flops int64) {
 	c.DirectFlops.Add(flops)
 }
 
-// Snapshot is a plain-value copy of the counters.
+// Snapshot is a plain-value copy of the counters, plus the process-global
+// vector-kernel dispatch state (fft.KernelPath / fft.KernelDispatches):
+// which complex64 kernel set this process runs and how many kernel calls
+// it has dispatched to the vector set. The dispatch fields describe the
+// process, not one edge, but they belong in the same observability surface
+// — an f32 FFT count is only interpretable next to the instruction set
+// that executed it.
 type Snapshot struct {
-	FFTs        int64
-	PackedFFTs  int64
-	InverseFFTs int64
-	FFTFlops    int64
-	MulVolume   int64
-	ReflectOps  int64
-	DirectFlops int64
-	F32FFTs     int64
+	FFTs         int64
+	PackedFFTs   int64
+	InverseFFTs  int64
+	FFTFlops     int64
+	MulVolume    int64
+	ReflectOps   int64
+	DirectFlops  int64
+	F32FFTs      int64
+	VecKernelOps int64  // process-wide dispatches into the vector kernel set
+	KernelPath   string // "avx2", "scalar", or "purego" (process-wide)
 }
 
 // Snapshot returns the current counter values.
 func (c *Counters) Snapshot() Snapshot {
 	if c == nil {
-		return Snapshot{}
+		return Snapshot{KernelPath: fft.KernelPath(), VecKernelOps: fft.KernelDispatches()}
 	}
 	return Snapshot{
-		FFTs:        c.FFTs.Load(),
-		PackedFFTs:  c.PackedFFTs.Load(),
-		InverseFFTs: c.InverseFFTs.Load(),
-		FFTFlops:    c.FFTFlops.Load(),
-		MulVolume:   c.MulVolume.Load(),
-		ReflectOps:  c.ReflectOps.Load(),
-		DirectFlops: c.DirectFlops.Load(),
-		F32FFTs:     c.F32FFTs.Load(),
+		FFTs:         c.FFTs.Load(),
+		PackedFFTs:   c.PackedFFTs.Load(),
+		InverseFFTs:  c.InverseFFTs.Load(),
+		FFTFlops:     c.FFTFlops.Load(),
+		MulVolume:    c.MulVolume.Load(),
+		ReflectOps:   c.ReflectOps.Load(),
+		DirectFlops:  c.DirectFlops.Load(),
+		F32FFTs:      c.F32FFTs.Load(),
+		VecKernelOps: fft.KernelDispatches(),
+		KernelPath:   fft.KernelPath(),
 	}
 }
 
@@ -129,14 +139,16 @@ func (c *Counters) Snapshot() Snapshot {
 // measuring a single phase.
 func (s Snapshot) Sub(t Snapshot) Snapshot {
 	return Snapshot{
-		FFTs:        s.FFTs - t.FFTs,
-		PackedFFTs:  s.PackedFFTs - t.PackedFFTs,
-		InverseFFTs: s.InverseFFTs - t.InverseFFTs,
-		FFTFlops:    s.FFTFlops - t.FFTFlops,
-		MulVolume:   s.MulVolume - t.MulVolume,
-		ReflectOps:  s.ReflectOps - t.ReflectOps,
-		DirectFlops: s.DirectFlops - t.DirectFlops,
-		F32FFTs:     s.F32FFTs - t.F32FFTs,
+		FFTs:         s.FFTs - t.FFTs,
+		PackedFFTs:   s.PackedFFTs - t.PackedFFTs,
+		InverseFFTs:  s.InverseFFTs - t.InverseFFTs,
+		FFTFlops:     s.FFTFlops - t.FFTFlops,
+		MulVolume:    s.MulVolume - t.MulVolume,
+		ReflectOps:   s.ReflectOps - t.ReflectOps,
+		DirectFlops:  s.DirectFlops - t.DirectFlops,
+		F32FFTs:      s.F32FFTs - t.F32FFTs,
+		VecKernelOps: s.VecKernelOps - t.VecKernelOps,
+		KernelPath:   s.KernelPath,
 	}
 }
 

@@ -1,0 +1,35 @@
+// Package cpu detects the processor features the hand-vectorized spectral
+// kernels need at runtime. Detection runs once at init; the fft package
+// consults X86 to decide whether to install its AVX2 kernel table or keep
+// the portable scalar Go kernels.
+//
+// Building with the purego tag (or for a non-amd64 GOARCH) compiles this
+// package without the CPUID probe: every feature reports false and callers
+// fall back to pure Go, which is the escape hatch for unsupported
+// platforms, debugging, and the scalar leg of CI.
+package cpu
+
+// X86 holds the detected x86 feature bits relevant to the vector kernels.
+// All fields are false on non-amd64 architectures and under the purego
+// build tag.
+var X86 struct {
+	HasAVX  bool // AVX and OS support for YMM state (OSXSAVE + XCR0)
+	HasAVX2 bool
+	HasFMA  bool
+}
+
+// VectorOK reports whether the AVX2 kernel set can run: AVX2 and FMA
+// instructions present and the OS saves the YMM register state.
+func VectorOK() bool {
+	return X86.HasAVX && X86.HasAVX2 && X86.HasFMA
+}
+
+// Feature returns a short string naming the best vector feature level
+// available ("avx2" or "none"), recorded in benchmark rows so measurements
+// from different hosts stay comparable.
+func Feature() string {
+	if VectorOK() {
+		return "avx2"
+	}
+	return "none"
+}

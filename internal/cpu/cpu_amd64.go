@@ -1,0 +1,41 @@
+//go:build amd64 && !purego
+
+package cpu
+
+// cpuid executes the CPUID instruction with the given leaf and subleaf.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (requires OSXSAVE).
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		cpuidFMA     = 1 << 12
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+	)
+	hasFMA := ecx1&cpuidFMA != 0
+	hasAVX := ecx1&cpuidAVX != 0
+	osxsave := ecx1&cpuidOSXSAVE != 0
+	if !hasAVX || !osxsave {
+		return
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be set: the OS context-
+	// switches the YMM state.
+	xeax, _ := xgetbv()
+	if xeax&0x6 != 0x6 {
+		return
+	}
+	X86.HasAVX = true
+	X86.HasFMA = hasFMA
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		const cpuidAVX2 = 1 << 5
+		X86.HasAVX2 = ebx7&cpuidAVX2 != 0
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !amd64 || purego
+
+package cpu
+
+// No runtime probe: every feature stays false and the kernels fall back to
+// portable Go (the purego contract documented in the package comment).

@@ -1,0 +1,20 @@
+package cpu
+
+import "testing"
+
+func TestFeatureConsistent(t *testing.T) {
+	// AVX2 without baseline AVX/OS support must never be reported: the
+	// kernel installer keys off VectorOK, and a true HasAVX2 with a false
+	// HasAVX would mean the XCR0 check was bypassed.
+	if X86.HasAVX2 && !X86.HasAVX {
+		t.Fatalf("HasAVX2 set without HasAVX (OS YMM support): %+v", X86)
+	}
+	want := "none"
+	if VectorOK() {
+		want = "avx2"
+	}
+	if got := Feature(); got != want {
+		t.Fatalf("Feature() = %q, want %q (X86 %+v)", got, want, X86)
+	}
+	t.Logf("detected: %+v, feature %q", X86, Feature())
+}

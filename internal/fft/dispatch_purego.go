@@ -1,0 +1,10 @@
+//go:build !amd64 || purego
+
+package fft
+
+// installVectorKernels is a no-op when the assembly is excluded from the
+// build (purego tag or non-amd64 GOARCH): the dispatch table keeps the
+// portable Go kernels and KernelPath reports "purego".
+func installVectorKernels() {}
+
+func init() { kernelPath = "purego" }

@@ -56,6 +56,38 @@
 // batching is a buffer-lifetime protocol (conv.SpectrumCache), not a
 // transform variant, and one inverse transform still runs per
 // (node, volume).
+//
+// # Vector kernel dispatch
+//
+// The complex64 hot path — pointwise spectrum products and the inner
+// butterflies of the line transforms — is reachable through two
+// interchangeable kernel sets, selected once at package init:
+//
+//   - AVX2+FMA assembly (kernels64_amd64.s), installed on amd64 builds when
+//     internal/cpu confirms AVX2, FMA and OS YMM-state support at runtime.
+//     The flat kernels process four complex64 coefficients per iteration;
+//     the butterfly kernels run lane-batched: the 3D plans gather eight
+//     independent lines into split re/im float32 planes (element j of lane
+//     c at plane index j·8+c) so each butterfly is a column of 8-wide
+//     vertical float32 FMAs with broadcast twiddles. Lane batching covers
+//     all three axes, including the r2c/c2r X pass, for 5-smooth lengths;
+//     Bluestein lengths keep the per-line scalar path.
+//   - Portable Go kernels otherwise — bitwise-identical to the pre-dispatch
+//     scalar implementation.
+//
+// The dispatch contract: selection happens exactly once, before any
+// transform runs; the installed set is process-global and immutable on the
+// production path; and the two sets agree at float32 tolerance (the
+// assembly contracts multiply-adds through FMA, so results differ from the
+// scalar path in the last bits — never rely on bitwise-identical spectra
+// across hosts). KernelPath reports the decision ("avx2", "scalar", or
+// "purego"); KernelDispatches counts calls into the vector set, which is
+// how CI proves the assembly actually ran. Building with `-tags purego`
+// is the escape hatch that excludes all assembly and CPUID probing — the
+// portable configuration every non-amd64 port compiles, and the fastest
+// way to rule the vector kernels in or out when debugging a numerical
+// discrepancy. SetVectorKernels toggles the sets at runtime for
+// benchmarks and differential tests only.
 package fft
 
 import (

@@ -58,7 +58,8 @@ func blockLines[C Complex](pl *PlanOf[C], buf []C, base, width, stride, n int, i
 type Plan3Of[C Complex] struct {
 	s          tensor.Shape
 	px, py, pz *PlanOf[C]
-	tilePool   sync.Pool // *[]C, lineBlock·max(Y,Z) for blocked lines
+	tilePool   sync.Pool  // *[]C, lineBlock·max(Y,Z) for blocked lines
+	lanePool   *sync.Pool // *laneTile for the lane-batched passes (complex64 only)
 }
 
 // Plan3 is the double-precision 3D complex plan.
@@ -101,6 +102,10 @@ func NewPlan3Of[C Complex](s tensor.Shape) *Plan3Of[C] {
 		b := make([]C, m)
 		return &b
 	}
+	if is32[C]() {
+		e := max(s.X, s.Y, s.Z)
+		p.lanePool = &sync.Pool{New: func() any { return newLaneTile(e) }}
+	}
 	plan3Cache[key] = p
 	return p
 }
@@ -127,6 +132,9 @@ func (p *Plan3Of[C]) transform(buf []C, inverse bool) {
 	s := p.s
 	if len(buf) != s.Volume() {
 		panic(fmt.Sprintf("fft: buffer length %d does not match shape %v", len(buf), s))
+	}
+	if laneTransform3(p, buf, inverse) {
+		return
 	}
 	// X lines are contiguous.
 	if s.X > 1 {
@@ -157,6 +165,44 @@ func (p *Plan3Of[C]) transform(buf []C, inverse bool) {
 		blockLines(p.pz, buf, 0, plane, plane, s.Z, inverse, tile)
 	}
 	p.tilePool.Put(tp)
+}
+
+// laneTransform3 runs all three passes lane-batched (see lane64.go) when
+// the buffer is complex64, the lane path is enabled, and every
+// extent-above-1 axis has a 5-smooth plan (Bluestein lengths keep the
+// scalar per-line path). The X pass batches 8 contiguous lines through
+// blockLanesRows64 — the X-axis counterpart of the Y/Z column tiles.
+// Reports whether it handled the transform.
+func laneTransform3[C Complex](p *Plan3Of[C], buf []C, inverse bool) bool {
+	if !laneBatch || p.lanePool == nil {
+		return false
+	}
+	b64, ok := any(buf).([]complex64)
+	if !ok {
+		return false
+	}
+	px, _ := any(p.px).(*PlanOf[complex64])
+	py, _ := any(p.py).(*PlanOf[complex64])
+	pz, _ := any(p.pz).(*PlanOf[complex64])
+	s := p.s
+	if (s.X > 1 && !px.laneOK()) || (s.Y > 1 && !py.laneOK()) || (s.Z > 1 && !pz.laneOK()) {
+		return false
+	}
+	lt := p.lanePool.Get().(*laneTile)
+	if s.X > 1 {
+		blockLanesRows64(px, b64, 0, s.Y*s.Z, inverse, lt)
+	}
+	plane := s.X * s.Y
+	if s.Y > 1 {
+		for z := 0; z < s.Z; z++ {
+			blockLanes64(py, b64, z*plane, s.X, s.X, s.Y, inverse, lt)
+		}
+	}
+	if s.Z > 1 {
+		blockLanes64(pz, b64, 0, plane, plane, s.Z, inverse, lt)
+	}
+	p.lanePool.Put(lt)
+	return true
 }
 
 // LoadReal writes t into the complex buffer buf (laid out with shape s),

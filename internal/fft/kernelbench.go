@@ -1,0 +1,153 @@
+package fft
+
+// Kernel micro-bench harness shared between the in-repo `go test -bench`
+// suite and `znn-bench -json` (see internal/benchsuite): both entry points
+// must time one workload definition, and the kernels under test are
+// unexported, so the cases live here as plain closures with no testing
+// dependency.
+
+// KernelBenchCase is one dispatchable-kernel micro-workload. Run times the
+// installed (possibly vectorized) implementation, RunScalar the scalar Go
+// reference — the pair is the per-kernel A/B behind the roundwise speedup
+// numbers. Bytes is the data volume per op for throughput reporting.
+type KernelBenchCase struct {
+	Name      string
+	Bytes     int64
+	Run       func(iters int)
+	RunScalar func(iters int)
+}
+
+// KernelBenchCases returns the curated kernel workloads: the flat pointwise
+// kernels at a spectrum-sized length and the lane-batched butterflies and
+// r2c combine at the shapes they take inside a 96-point transform.
+func KernelBenchCases() []KernelBenchCase {
+	var cases []KernelBenchCase
+
+	// Flat complex64 kernels over a 4096-element spectrum slab.
+	const fn = 4096
+	dst := make([]complex64, fn)
+	a := make([]complex64, fn)
+	b := make([]complex64, fn)
+	for i := range a {
+		a[i] = complex(float32(i%17)*0.25-2, float32(i%13)*0.25-1.5)
+		b[i] = complex(float32(i%11)*0.25-1, float32(i%7)*0.25-0.75)
+	}
+	cases = append(cases,
+		KernelBenchCase{
+			Name: "mul-into", Bytes: fn * 8 * 3,
+			Run: func(iters int) {
+				for i := 0; i < iters; i++ {
+					mulInto64(dst, a, b)
+				}
+			},
+			RunScalar: func(iters int) {
+				for i := 0; i < iters; i++ {
+					mulInto64Scalar(dst, a, b)
+				}
+			},
+		},
+		KernelBenchCase{
+			Name: "mul-acc-into", Bytes: fn * 8 * 3,
+			Run: func(iters int) {
+				for i := 0; i < iters; i++ {
+					mulAccInto64(dst, a, b)
+					dst[0] = 0 // keep the accumulator from overflowing
+				}
+			},
+			RunScalar: func(iters int) {
+				for i := 0; i < iters; i++ {
+					mulAccInto64Scalar(dst, a, b)
+					dst[0] = 0
+				}
+			},
+		},
+		KernelBenchCase{
+			Name: "scale", Bytes: fn * 8 * 2,
+			Run: func(iters int) {
+				for i := 0; i < iters; i++ {
+					scale64(dst, 1.0000001)
+				}
+			},
+			RunScalar: func(iters int) {
+				for i := 0; i < iters; i++ {
+					scale64Scalar(dst, 1.0000001)
+				}
+			},
+		},
+	)
+
+	// Lane-batched butterflies at the stage shapes of a 96-point plan
+	// (pn = 96: the radix-2 stage has m = 48, the radix-4 stage m = 24).
+	// Butterflies mutate in place, so repeated application drifts the
+	// values; magnitudes stay in normal float32 range well past any
+	// realistic iteration count, and timing is value-independent there.
+	const pn = 96
+	wFwd := twiddlesOf[complex64](pn, -1)
+	planeR2 := make([]float32, 2*48*lanes)
+	planeR2i := make([]float32, 2*48*lanes)
+	planeR4 := make([]float32, 4*24*lanes)
+	planeR4i := make([]float32, 4*24*lanes)
+	for i := range planeR2 {
+		planeR2[i] = float32(i%9)*0.01 - 0.04
+		planeR2i[i] = float32(i%7)*0.01 - 0.03
+	}
+	for i := range planeR4 {
+		planeR4[i] = float32(i%9)*0.01 - 0.04
+		planeR4i[i] = float32(i%7)*0.01 - 0.03
+	}
+	neg := wFwd[pn/4]
+	cases = append(cases,
+		KernelBenchCase{
+			Name: "bf-lane-r2", Bytes: int64(len(planeR2)) * 4 * 2 * 2,
+			Run: func(iters int) {
+				for i := 0; i < iters; i++ {
+					bfLaneR2(planeR2, planeR2i, 48, wFwd, 1)
+				}
+			},
+			RunScalar: func(iters int) {
+				for i := 0; i < iters; i++ {
+					bfLaneR2Go(planeR2, planeR2i, 48, wFwd, 1)
+				}
+			},
+		},
+		KernelBenchCase{
+			Name: "bf-lane-r4", Bytes: int64(len(planeR4)) * 4 * 2 * 2,
+			Run: func(iters int) {
+				for i := 0; i < iters; i++ {
+					bfLaneR4(planeR4, planeR4i, 24, pn, wFwd, 1, real(neg), imag(neg))
+				}
+			},
+			RunScalar: func(iters int) {
+				for i := 0; i < iters; i++ {
+					bfLaneR4Go(planeR4, planeR4i, 24, pn, wFwd, 1, real(neg), imag(neg))
+				}
+			},
+		},
+	)
+
+	// Lane-batched r2c split combine at m = 48 (a 96-point real row).
+	const m = 48
+	wf := twiddlesOf[complex64](2*m, -1)[: m+1 : m+1]
+	zre := make([]float32, (m+1)*lanes)
+	zim := make([]float32, (m+1)*lanes)
+	outRe := make([]float32, (m+1)*lanes)
+	outIm := make([]float32, (m+1)*lanes)
+	for i := range zre {
+		zre[i] = float32(i%9)*0.1 - 0.4
+		zim[i] = float32(i%7)*0.1 - 0.3
+	}
+	cases = append(cases, KernelBenchCase{
+		Name: "r2c-combine", Bytes: int64(len(zre)) * 4 * 2 * 2,
+		Run: func(iters int) {
+			for i := 0; i < iters; i++ {
+				r2cLaneCombine(zre, zim, outRe, outIm, wf, m)
+			}
+		},
+		RunScalar: func(iters int) {
+			for i := 0; i < iters; i++ {
+				r2cLaneCombineGo(zre, zim, outRe, outIm, wf, m)
+			}
+		},
+	})
+	return cases
+}

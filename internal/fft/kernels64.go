@@ -10,6 +10,11 @@ package fft
 // same butterflies run at full float32 speed, so the generic entry points
 // dispatch to these kernels when C = complex64. The complex128
 // instantiation keeps the generic code path unchanged.
+//
+// The flat kernels with AVX2 counterparts carry a Scalar suffix; the
+// undecorated names (mulInto64, scale64, …) are the function variables in
+// dispatch.go, resolved once at init to either implementation (see the
+// package doc's "Vector kernel dispatch" section).
 
 // mul64 is the promotion-free complex64 product.
 func mul64(a, b complex64) complex64 {
@@ -100,22 +105,22 @@ func rec64(factors []int, pn int, dst, src []complex64, n, stride, fi int, w []c
 	}
 }
 
-// scale64 multiplies every element by the real factor s.
-func scale64(data []complex64, s float32) {
+// scale64Scalar multiplies every element by the real factor s.
+func scale64Scalar(data []complex64, s float32) {
 	for i, v := range data {
 		data[i] = complex(real(v)*s, imag(v)*s)
 	}
 }
 
-// mulInto64 is MulInto without the complex64 promotion penalty.
-func mulInto64(dst, a, b []complex64) {
+// mulInto64Scalar is MulInto without the complex64 promotion penalty.
+func mulInto64Scalar(dst, a, b []complex64) {
 	for i := range dst {
 		dst[i] = mul64(a[i], b[i])
 	}
 }
 
-// mulAccInto64 is MulAccInto without the promotion penalty.
-func mulAccInto64(dst, a, b []complex64) {
+// mulAccInto64Scalar is MulAccInto without the promotion penalty.
+func mulAccInto64Scalar(dst, a, b []complex64) {
 	for i := range dst {
 		x, y := a[i], b[i]
 		dst[i] += complex(real(x)*real(y)-imag(x)*imag(y),

@@ -1,0 +1,356 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 bodies for the complex64 hot-path kernels. Layout conventions:
+//
+//   - Flat kernels (mulInto64/mulAccInto64/scale64) work on interleaved
+//     complex64 slices, 4 complex values (one YMM register) per iteration;
+//     n is a multiple of 4 (dispatch wrappers run the tail in Go). The
+//     interleaved complex product uses the classic dup/swap shuffle plus
+//     VFMADDSUB (even float lanes subtract — the real parts; odd add —
+//     the imaginary parts).
+//
+//   - Lane kernels work on SoA planes (see lane64.go): element k of the
+//     transform is 8 contiguous float32 values per plane (32 bytes, one
+//     YMM), so every butterfly is pure vertical arithmetic with the
+//     twiddle components broadcast from the complex64 table (real at
+//     byte offset 8·i, imaginary at 8·i+4). Twiddle indices that wrap
+//     modulo pn advance incrementally with a compare-and-subtract, the
+//     same bookkeeping as the scalar rec64.
+//
+// All routines are NOSPLIT leaf functions and end with VZEROUPPER to avoid
+// AVX→SSE transition stalls in the surrounding Go code.
+
+// one half in float32 (0x3F000000), broadcast by the r2c combine.
+DATA f32half<>+0(SB)/4, $0x3F000000
+GLOBL f32half<>(SB), RODATA, $4
+
+// func mulInto64Asm(dst, a, b *complex64, n int)
+TEXT ·mulInto64Asm(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+	SHRQ $2, CX
+
+mulloop:
+	VMOVUPS    (SI), Y0            // a: ar0 ai0 ar1 ai1 …
+	VMOVUPS    (DX), Y1            // b
+	VMOVSLDUP  Y1, Y2              // br br …
+	VMOVSHDUP  Y1, Y3              // bi bi …
+	VPERMILPS  $0xB1, Y0, Y4       // ai ar …
+	VMULPS     Y4, Y3, Y5          // ai·bi, ar·bi
+	VFMADDSUB231PS Y0, Y2, Y5      // even: ar·br−ai·bi  odd: ai·br+ar·bi
+	VMOVUPS    Y5, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  mulloop
+	VZEROUPPER
+	RET
+
+// func mulAccInto64Asm(dst, a, b *complex64, n int)
+TEXT ·mulAccInto64Asm(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+	SHRQ $2, CX
+
+accloop:
+	VMOVUPS    (SI), Y0
+	VMOVUPS    (DX), Y1
+	VMOVSLDUP  Y1, Y2
+	VMOVSHDUP  Y1, Y3
+	VPERMILPS  $0xB1, Y0, Y4
+	VMULPS     Y4, Y3, Y5
+	VFMADDSUB231PS Y0, Y2, Y5      // Y5 = a·b
+	VADDPS     (DI), Y5, Y5        // += dst
+	VMOVUPS    Y5, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  accloop
+	VZEROUPPER
+	RET
+
+// func scale64Asm(data *complex64, n int, s float32)
+TEXT ·scale64Asm(SB), NOSPLIT, $0-20
+	MOVQ data+0(FP), DI
+	MOVQ n+8(FP), CX
+	VBROADCASTSS s+16(FP), Y0
+	SHRQ $2, CX
+
+scaleloop:
+	VMULPS  (DI), Y0, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  scaleloop
+	VZEROUPPER
+	RET
+
+// func bfLaneR2Asm(dre, dim *float32, m int, w *complex64, step int)
+//
+// Radix-2 lane butterfly over k = 0 .. m−1:
+//   x = w[k·step]·b;  dst[k] = a + x;  dst[m+k] = a − x
+// with a = element k, b = element m+k, 8 lanes per element.
+TEXT ·bfLaneR2Asm(SB), NOSPLIT, $0-40
+	MOVQ dre+0(FP), DI
+	MOVQ dim+8(FP), SI
+	MOVQ m+16(FP), CX
+	MOVQ w+24(FP), DX
+	MOVQ step+32(FP), BX
+	MOVQ CX, R8
+	SHLQ $5, R8                    // m·32: byte offset of the second half
+	SHLQ $3, BX                    // twiddle byte stride step·8
+	XORQ R9, R9                    // twiddle byte offset k·step·8
+	XORQ R10, R10                  // element byte offset k·32
+
+r2loop:
+	VBROADCASTSS (DX)(R9*1), Y0    // tr
+	VBROADCASTSS 4(DX)(R9*1), Y1   // ti
+	VMOVUPS (DI)(R10*1), Y2        // ar
+	VMOVUPS (SI)(R10*1), Y3        // ai
+	LEAQ (R10)(R8*1), R11
+	VMOVUPS (DI)(R11*1), Y4        // br
+	VMOVUPS (SI)(R11*1), Y5        // bi
+	VMULPS       Y0, Y4, Y6        // br·tr
+	VFNMADD231PS Y1, Y5, Y6        // − bi·ti → xr
+	VMULPS       Y1, Y4, Y7        // br·ti
+	VFMADD231PS  Y0, Y5, Y7        // + bi·tr → xi
+	VADDPS Y6, Y2, Y8              // ar+xr
+	VSUBPS Y6, Y2, Y9              // ar−xr
+	VADDPS Y7, Y3, Y10             // ai+xi
+	VSUBPS Y7, Y3, Y11             // ai−xi
+	VMOVUPS Y8, (DI)(R10*1)
+	VMOVUPS Y9, (DI)(R11*1)
+	VMOVUPS Y10, (SI)(R10*1)
+	VMOVUPS Y11, (SI)(R11*1)
+	ADDQ BX, R9
+	ADDQ $32, R10
+	DECQ CX
+	JNZ  r2loop
+	VZEROUPPER
+	RET
+
+// func bfLaneR4Asm(dre, dim *float32, m, pn int, w *complex64, step int, nr, ni float32)
+//
+// Radix-4 lane butterfly, mirroring rec64's case 4: legs b/c/d are
+// twiddled by w[k·step], w[i2], w[i3] (i2, i3 tracked incrementally mod
+// pn), combined through the ±1/∓i network; nr+i·ni is the quarter
+// twiddle (−i forward, +i inverse).
+TEXT ·bfLaneR4Asm(SB), NOSPLIT, $0-56
+	MOVQ dre+0(FP), DI
+	MOVQ dim+8(FP), SI
+	MOVQ m+16(FP), CX
+	MOVQ pn+24(FP), R13
+	MOVQ w+32(FP), DX
+	MOVQ step+40(FP), BX
+	VBROADCASTSS nr+48(FP), Y14
+	VBROADCASTSS ni+52(FP), Y15
+	MOVQ CX, R8
+	SHLQ $5, R8                    // m·32
+	SHLQ $3, BX                    // step·8
+	SHLQ $3, R13                   // pn·8 (wrap bound in twiddle bytes)
+	XORQ R9, R9                    // k·step·8
+	XORQ R10, R10                  // k·32
+	XORQ R11, R11                  // i2·8
+	XORQ R12, R12                  // i3·8
+
+r4loop:
+	// b' = w[k·step]·dst[m+k]
+	LEAQ (R10)(R8*1), AX
+	VBROADCASTSS (DX)(R9*1), Y0
+	VBROADCASTSS 4(DX)(R9*1), Y1
+	VMOVUPS (DI)(AX*1), Y2
+	VMOVUPS (SI)(AX*1), Y3
+	VMULPS       Y0, Y2, Y4
+	VFNMADD231PS Y1, Y3, Y4        // br'
+	VMULPS       Y1, Y2, Y5
+	VFMADD231PS  Y0, Y3, Y5        // bi'
+
+	// c' = w[i2]·dst[2m+k]
+	LEAQ (R10)(R8*2), AX
+	VBROADCASTSS (DX)(R11*1), Y0
+	VBROADCASTSS 4(DX)(R11*1), Y1
+	VMOVUPS (DI)(AX*1), Y2
+	VMOVUPS (SI)(AX*1), Y3
+	VMULPS       Y0, Y2, Y6
+	VFNMADD231PS Y1, Y3, Y6        // cr'
+	VMULPS       Y1, Y2, Y7
+	VFMADD231PS  Y0, Y3, Y7        // ci'
+
+	// d' = w[i3]·dst[3m+k]
+	ADDQ R8, AX
+	VBROADCASTSS (DX)(R12*1), Y0
+	VBROADCASTSS 4(DX)(R12*1), Y1
+	VMOVUPS (DI)(AX*1), Y2
+	VMOVUPS (SI)(AX*1), Y3
+	VMULPS       Y0, Y2, Y8
+	VFNMADD231PS Y1, Y3, Y8        // dr'
+	VMULPS       Y1, Y2, Y9
+	VFMADD231PS  Y0, Y3, Y9        // di'
+
+	// a = dst[k]
+	VMOVUPS (DI)(R10*1), Y0        // ar
+	VMOVUPS (SI)(R10*1), Y1        // ai
+
+	VADDPS Y6, Y0, Y2              // apcR
+	VSUBPS Y6, Y0, Y3              // amcR
+	VADDPS Y7, Y1, Y6              // apcI
+	VSUBPS Y7, Y1, Y7              // amcI
+	VADDPS Y8, Y4, Y0              // bpdR
+	VSUBPS Y8, Y4, Y8              // bmdR
+	VADDPS Y9, Y5, Y1              // bpdI
+	VSUBPS Y9, Y5, Y9              // bmdI
+
+	// (jr, ji) = (nr+i·ni)·bmd
+	VMULPS       Y14, Y8, Y4
+	VFNMADD231PS Y15, Y9, Y4       // jr = bmdR·nr − bmdI·ni
+	VMULPS       Y15, Y8, Y5
+	VFMADD231PS  Y14, Y9, Y5       // ji = bmdR·ni + bmdI·nr
+
+	VADDPS Y0, Y2, Y10             // dst[k].re    = apcR+bpdR
+	VSUBPS Y0, Y2, Y11             // dst[2m+k].re = apcR−bpdR
+	VADDPS Y1, Y6, Y12             // dst[k].im
+	VSUBPS Y1, Y6, Y13             // dst[2m+k].im
+	VMOVUPS Y10, (DI)(R10*1)
+	VMOVUPS Y12, (SI)(R10*1)
+	LEAQ (R10)(R8*2), AX
+	VMOVUPS Y11, (DI)(AX*1)
+	VMOVUPS Y13, (SI)(AX*1)
+
+	VADDPS Y4, Y3, Y10             // dst[m+k].re  = amcR+jr
+	VSUBPS Y4, Y3, Y11             // dst[3m+k].re = amcR−jr
+	VADDPS Y5, Y7, Y12             // dst[m+k].im  = amcI+ji
+	VSUBPS Y5, Y7, Y13             // dst[3m+k].im = amcI−ji
+	LEAQ (R10)(R8*1), AX
+	VMOVUPS Y10, (DI)(AX*1)
+	VMOVUPS Y12, (SI)(AX*1)
+	ADDQ R8, AX
+	ADDQ R8, AX
+	VMOVUPS Y11, (DI)(AX*1)
+	VMOVUPS Y13, (SI)(AX*1)
+
+	ADDQ $32, R10
+	ADDQ BX, R9
+	LEAQ (R11)(BX*2), R11          // i2 += 2·step
+	CMPQ R11, R13
+	JLT  r4i2ok
+	SUBQ R13, R11
+
+r4i2ok:
+	LEAQ (R12)(BX*2), R12          // i3 += 3·step
+	ADDQ BX, R12
+	CMPQ R12, R13
+	JLT  r4i3ok
+	SUBQ R13, R12
+
+r4i3ok:
+	DECQ CX
+	JNZ  r4loop
+	VZEROUPPER
+	RET
+
+// func r2cLaneCombineAsm(zre, zim, outre, outim *float32, wf *complex64, m int)
+//
+// Forward split butterfly over k = 1 .. m−1 (lane-batched r2cCombine64):
+//   fe = (z[k] + conj(z[m−k]))/2,  fo = −i·(z[k] − conj(z[m−k]))/2
+//   out[k] = fe + wf[k]·fo
+TEXT ·r2cLaneCombineAsm(SB), NOSPLIT, $0-48
+	MOVQ zre+0(FP), DI
+	MOVQ zim+8(FP), SI
+	MOVQ outre+16(FP), R8
+	MOVQ outim+24(FP), R9
+	MOVQ wf+32(FP), DX
+	MOVQ m+40(FP), CX
+	VBROADCASTSS f32half<>(SB), Y15
+	MOVQ CX, R11
+	SHLQ $5, R11
+	SUBQ $32, R11                  // down offset (m−1)·32
+	MOVQ $32, R10                  // up offset, k = 1
+	MOVQ $8, R12                   // twiddle byte offset wf[1]
+	DECQ CX                        // m−1 iterations
+	JZ   combdone
+
+combloop:
+	VBROADCASTSS (DX)(R12*1), Y8   // tr
+	VBROADCASTSS 4(DX)(R12*1), Y9  // ti
+	VMOVUPS (DI)(R10*1), Y0        // ar
+	VMOVUPS (DI)(R11*1), Y1        // br
+	VMOVUPS (SI)(R10*1), Y2        // ai
+	VMOVUPS (SI)(R11*1), Y3        // bi
+	VADDPS Y1, Y0, Y4
+	VMULPS Y15, Y4, Y4             // feR = (ar+br)/2
+	VSUBPS Y3, Y2, Y5
+	VMULPS Y15, Y5, Y5             // feI = (ai−bi)/2
+	VADDPS Y3, Y2, Y6
+	VMULPS Y15, Y6, Y6             // foR = (ai+bi)/2
+	VSUBPS Y0, Y1, Y7
+	VMULPS Y15, Y7, Y7             // foI = (br−ar)/2
+	VFMADD231PS  Y8, Y6, Y4        // += foR·tr
+	VFNMADD231PS Y9, Y7, Y4        // −= foI·ti → outR
+	VFMADD231PS  Y9, Y6, Y5        // += foR·ti
+	VFMADD231PS  Y8, Y7, Y5        // += foI·tr → outI
+	VMOVUPS Y4, (R8)(R10*1)
+	VMOVUPS Y5, (R9)(R10*1)
+	ADDQ $32, R10
+	SUBQ $32, R11
+	ADDQ $8, R12
+	DECQ CX
+	JNZ  combloop
+
+combdone:
+	VZEROUPPER
+	RET
+
+// func c2rLanePreAsm(zre, zim, sre, sim *float32, wf *complex64, m int, cs float32)
+//
+// Inverse pre-pass over k = 0 .. m−1 (lane-batched c2rPre64):
+//   fe = src[k] + conj(src[m−k]),  fo = (src[k] − conj(src[m−k]))·conj(wf[k])
+//   z[k] = (fe + i·fo)·cs
+TEXT ·c2rLanePreAsm(SB), NOSPLIT, $0-52
+	MOVQ zre+0(FP), DI
+	MOVQ zim+8(FP), SI
+	MOVQ sre+16(FP), R8
+	MOVQ sim+24(FP), R9
+	MOVQ wf+32(FP), DX
+	MOVQ m+40(FP), CX
+	VBROADCASTSS cs+48(FP), Y15
+	MOVQ CX, R11
+	SHLQ $5, R11                   // down offset m·32 (k = 0 reads src[m])
+	XORQ R10, R10                  // up offset
+	XORQ R12, R12                  // twiddle byte offset
+
+preloop:
+	VBROADCASTSS (DX)(R12*1), Y8   // tr
+	VBROADCASTSS 4(DX)(R12*1), Y9  // ti
+	VMOVUPS (R8)(R10*1), Y0        // ar
+	VMOVUPS (R8)(R11*1), Y1        // br
+	VMOVUPS (R9)(R10*1), Y2        // ai
+	VMOVUPS (R9)(R11*1), Y3        // bi
+	VADDPS Y1, Y0, Y4              // feR = ar+br
+	VSUBPS Y3, Y2, Y5              // feI = ai−bi
+	VSUBPS Y1, Y0, Y6              // dR = ar−br
+	VADDPS Y3, Y2, Y7              // dI = ai+bi
+	VMULPS       Y8, Y6, Y10
+	VFMADD231PS  Y9, Y7, Y10       // foR = dR·tr + dI·ti
+	VMULPS       Y8, Y7, Y11
+	VFNMADD231PS Y9, Y6, Y11       // foI = dI·tr − dR·ti
+	VSUBPS Y11, Y4, Y12
+	VMULPS Y15, Y12, Y12           // zre = (feR − foI)·cs
+	VADDPS Y10, Y5, Y13
+	VMULPS Y15, Y13, Y13           // zim = (feI + foR)·cs
+	VMOVUPS Y12, (DI)(R10*1)
+	VMOVUPS Y13, (SI)(R10*1)
+	ADDQ $32, R10
+	SUBQ $32, R11
+	ADDQ $8, R12
+	DECQ CX
+	JNZ  preloop
+	VZEROUPPER
+	RET

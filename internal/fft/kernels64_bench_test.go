@@ -1,0 +1,57 @@
+package fft
+
+import "testing"
+
+// Per-kernel microbenchmarks over the shared workload definitions in
+// kernelbench.go. Each benchmark has a dispatched variant (whatever
+// implementation is installed — AVX2 on capable amd64 hosts, the Go lane
+// kernels under purego) and a scalar reference variant; their ratio is the
+// per-kernel speedup the PR's acceptance criteria quote.
+
+func benchCase(b *testing.B, name string, scalar bool) {
+	b.Helper()
+	for _, c := range KernelBenchCases() {
+		if c.Name != name {
+			continue
+		}
+		b.SetBytes(c.Bytes)
+		b.ResetTimer()
+		if scalar {
+			c.RunScalar(b.N)
+		} else {
+			c.Run(b.N)
+		}
+		return
+	}
+	b.Fatalf("no kernel bench case %q", name)
+}
+
+func BenchmarkMulInto64(b *testing.B) {
+	b.Run("dispatched", func(b *testing.B) { benchCase(b, "mul-into", false) })
+	b.Run("scalar", func(b *testing.B) { benchCase(b, "mul-into", true) })
+}
+
+func BenchmarkMulAccInto64(b *testing.B) {
+	b.Run("dispatched", func(b *testing.B) { benchCase(b, "mul-acc-into", false) })
+	b.Run("scalar", func(b *testing.B) { benchCase(b, "mul-acc-into", true) })
+}
+
+func BenchmarkScale64(b *testing.B) {
+	b.Run("dispatched", func(b *testing.B) { benchCase(b, "scale", false) })
+	b.Run("scalar", func(b *testing.B) { benchCase(b, "scale", true) })
+}
+
+func BenchmarkButterflyR2(b *testing.B) {
+	b.Run("dispatched", func(b *testing.B) { benchCase(b, "bf-lane-r2", false) })
+	b.Run("scalar", func(b *testing.B) { benchCase(b, "bf-lane-r2", true) })
+}
+
+func BenchmarkButterflyR4(b *testing.B) {
+	b.Run("dispatched", func(b *testing.B) { benchCase(b, "bf-lane-r4", false) })
+	b.Run("scalar", func(b *testing.B) { benchCase(b, "bf-lane-r4", true) })
+}
+
+func BenchmarkR2CCombine64(b *testing.B) {
+	b.Run("dispatched", func(b *testing.B) { benchCase(b, "r2c-combine", false) })
+	b.Run("scalar", func(b *testing.B) { benchCase(b, "r2c-combine", true) })
+}
