@@ -20,13 +20,15 @@ import (
 // diffs across hosts and across the vector/scalar A/B rows stay
 // interpretable.
 type benchRecord struct {
-	Name     string `json:"name"`
-	Shape    string `json:"shape"`
-	NsOp     int64  `json:"ns_op"`
-	BytesOp  int64  `json:"bytes_op"`          // allocated bytes per op
-	Workers  int    `json:"workers,omitempty"` // scheduler workers, when the row uses them
-	Arch     string `json:"goarch"`
-	Features string `json:"features"`
+	Name     string  `json:"name"`
+	Shape    string  `json:"shape"`
+	NsOp     int64   `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`            // allocated bytes per op
+	Workers  int     `json:"workers,omitempty"`   // scheduler workers, when the row uses them
+	P99Ns    int64   `json:"p99_ns,omitempty"`    // tail latency, loadgen rows (ns_op is p50)
+	ShedRate float64 `json:"shed_rate,omitempty"` // fraction of requests shed 429, loadgen rows
+	Arch     string  `json:"goarch"`
+	Features string  `json:"features"`
 }
 
 // benchFile is the BENCH_<date>.json schema: metadata plus one record per

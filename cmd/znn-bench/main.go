@@ -10,6 +10,15 @@
 // Experiments: tablev table1 table2 table34 fig4 fig5 fig6 fig7 fig8 fig9
 // sched memo sum pool pqueue all.
 //
+// Load-generator mode drives a RUNNING znn-serve instead of in-process
+// benchmarks: concurrent clients hammer /infer for -duration, optionally
+// POSTing /reload every -reload-every, and the run's p50/p99 latency and
+// shed rate land both in BENCH_<date>.json (row "serve-loadgen") and in a
+// -loadgen-out summary JSON that CI asserts on:
+//
+//	znn-bench -loadgen http://localhost:8080 -duration 10s -clients 16 \
+//	          [-deadline-ms 500] [-reload-every 2s] [-loadgen-out sum.json]
+//
 // Measured speedups are bounded by this machine's core count; the paper's
 // 8–120 CPU curves are regenerated analytically by fig4 and the measured
 // experiments take -workers so wider hosts reproduce the full sweeps.
@@ -38,12 +47,33 @@ func main() {
 	rounds := flag.Int("rounds", 0, "timed rounds per point (0 = default per experiment)")
 	jsonOut := flag.Bool("json", false,
 		"run the core benchmark suite and write machine-readable results to BENCH_<date>.json")
+	loadgenAddr := flag.String("loadgen", "", "drive a running znn-serve at this base URL instead of in-process benchmarks")
+	duration := flag.Duration("duration", 10*time.Second, "loadgen run length")
+	clients := flag.Int("clients", 2*runtime.NumCPU(), "loadgen concurrent request loops")
+	deadlineMs := flag.Float64("deadline-ms", 0, "loadgen X-Deadline-Ms per request (0 = none)")
+	reloadEvery := flag.Duration("reload-every", 0, "loadgen POST /reload period (0 = never)")
+	loadgenOut := flag.String("loadgen-out", "", "loadgen summary JSON path (counters for CI assertions)")
 	flag.Parse()
 
 	if *workers < 1 {
 		*workers = runtime.NumCPU()
 	}
 	cfg := config{workers: *workers, paperScale: *paperScale, rounds: *rounds, warmup: 2}
+
+	if *loadgenAddr != "" {
+		if err := loadgen(loadgenConfig{
+			addr:        strings.TrimRight(*loadgenAddr, "/"),
+			duration:    *duration,
+			clients:     *clients,
+			deadlineMs:  *deadlineMs,
+			reloadEvery: *reloadEvery,
+			out:         *loadgenOut,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonOut {
 		jsonBenchmarks(cfg)

@@ -1,28 +1,43 @@
 package main
 
 import (
+	"errors"
 	"sync/atomic"
 	"time"
 
 	"znn"
 )
 
+// errDeadlineExpired is returned to a request whose deadline passed while
+// it was queued — before it occupied a slot in any dispatched round. The
+// handler maps it to 504 and the expired counter.
+var errDeadlineExpired = errors.New("request deadline expired while queued")
+
 // batcher coalesces queued inference requests into fused K-wide rounds:
 // the front of the queue waits at most `delay` (or not at all when delay
 // is 0 — greedy draining) while up to maxBatch requests accumulate, then
-// the whole group dispatches as ONE fused round via znn.InferBatchFusedMulti,
-// each layer's kernel spectra streaming through cache once per batch
-// instead of once per request. Outputs are demuxed back to the waiting
-// request goroutines; a round error fails exactly the requests of that
-// batch (fused-round errors are round-local, so later batches are
-// unaffected).
+// the whole group dispatches as ONE fused round, each layer's kernel
+// spectra streaming through cache once per batch instead of once per
+// request. Outputs are demuxed back to the waiting request goroutines; a
+// round error fails exactly the requests of that batch (fused-round errors
+// are round-local, so later batches are unaffected).
+//
+// The dispatch callback resolves the serving generation at round start and
+// reports which generation ran the batch — under hot reload a request is
+// guaranteed to be served entirely by one generation's weights, namely the
+// generation its batch landed on.
+//
+// Requests carry an optional deadline: the queue-time budget. A request
+// whose deadline passes while it waits (coalescing, or blocked behind the
+// in-flight semaphore under saturation) is dropped at batch-seal time with
+// errDeadlineExpired and never occupies a slot in a dispatched round.
 //
 // With delay 0 the batcher adds no idle latency: a lone request on an idle
 // server dispatches immediately, and batches form only when requests are
 // already queued behind an in-flight round. A positive delay trades up to
 // that much added latency for wider batches.
 type batcher struct {
-	dispatch func([][]*znn.Tensor) ([][]*znn.Tensor, error)
+	dispatch func([][]*znn.Tensor) ([][]*znn.Tensor, int64, error)
 	maxBatch int
 	delay    time.Duration
 	sem      chan struct{} // shared in-flight round budget (may be nil)
@@ -30,26 +45,29 @@ type batcher struct {
 
 	batches      atomic.Int64 // fused rounds dispatched
 	batchedReqs  atomic.Int64 // requests carried by those rounds
+	expired      atomic.Int64 // requests dropped at seal time on a passed deadline
 	coalesceNsEW atomic.Int64 // EW mean of time spent queued before dispatch
 }
 
-// batchReq is one queued request: its input volumes and the channel its
-// HTTP goroutine blocks on.
+// batchReq is one queued request: its input volumes, its queue-time
+// deadline (zero = none), and the channel its HTTP goroutine blocks on.
 type batchReq struct {
-	inputs []*znn.Tensor
-	enq    time.Time
-	done   chan batchResult
+	inputs   []*znn.Tensor
+	deadline time.Time
+	enq      time.Time
+	done     chan batchResult
 }
 
 type batchResult struct {
 	outs []*znn.Tensor
+	gen  int64 // serving generation that ran the round
 	err  error
 }
 
 // newBatcher starts the coalescing loop. dispatch runs one fused round
-// over the collected batch; sem, when non-nil, bounds concurrent rounds
-// (one slot per dispatched batch).
-func newBatcher(dispatch func([][]*znn.Tensor) ([][]*znn.Tensor, error),
+// over the collected batch and reports the generation that served it; sem,
+// when non-nil, bounds concurrent rounds (one slot per dispatched batch).
+func newBatcher(dispatch func([][]*znn.Tensor) ([][]*znn.Tensor, int64, error),
 	maxBatch int, delay time.Duration, sem chan struct{}) *batcher {
 	b := &batcher{
 		dispatch: dispatch,
@@ -62,16 +80,19 @@ func newBatcher(dispatch func([][]*znn.Tensor) ([][]*znn.Tensor, error),
 	return b
 }
 
-// submit queues one request and blocks until its batch's round completes.
-func (b *batcher) submit(inputs []*znn.Tensor) ([]*znn.Tensor, error) {
-	r := &batchReq{inputs: inputs, enq: time.Now(), done: make(chan batchResult, 1)}
+// submit queues one request and blocks until its batch's round completes
+// (or its deadline expires in the queue). It reports the generation whose
+// weights served the request.
+func (b *batcher) submit(inputs []*znn.Tensor, deadline time.Time) ([]*znn.Tensor, int64, error) {
+	r := &batchReq{inputs: inputs, deadline: deadline, enq: time.Now(), done: make(chan batchResult, 1)}
 	b.reqs <- r
 	res := <-r.done
-	return res.outs, res.err
+	return res.outs, res.gen, res.err
 }
 
-// close stops the coalescing loop after the queue drains. Only tests need
-// it; the server runs its batcher for the process lifetime.
+// close stops the coalescing loop after the queue drains. Called by tests
+// and by graceful shutdown, after the HTTP server has stopped accepting —
+// no submit may race it.
 func (b *batcher) close() { close(b.reqs) }
 
 // loop collects request groups and hands them to flush. The in-flight
@@ -79,8 +100,11 @@ func (b *batcher) close() { close(b.reqs) }
 // loop blocks on the semaphore while requests keep queuing, so the batch
 // that dispatches when a slot frees has widened toward maxBatch — load is
 // exactly when the kernel-spectrum sharing a wide round buys is worth the
-// most. Dispatch itself runs on its own goroutine (releasing the slot),
-// so the loop is already collecting the next batch while rounds run.
+// most. Requests whose deadline expired during that wait are dropped at
+// seal time, before the round is shaped, so an expired request never
+// occupies a batch slot. Dispatch itself runs on its own goroutine
+// (releasing the slot), so the loop is already collecting the next batch
+// while rounds run.
 func (b *batcher) loop() {
 	for first := range b.reqs {
 		if b.sem != nil {
@@ -116,11 +140,28 @@ func (b *batcher) loop() {
 				}
 			}
 		}
-		b.flush(batch)
+		// Seal: expired requests fail now, without a batch slot.
+		now := time.Now()
+		live := batch[:0]
+		for _, r := range batch {
+			if !r.deadline.IsZero() && now.After(r.deadline) {
+				b.expired.Add(1)
+				r.done <- batchResult{err: errDeadlineExpired}
+				continue
+			}
+			live = append(live, r)
+		}
+		if len(live) == 0 {
+			if b.sem != nil {
+				<-b.sem
+			}
+			continue
+		}
+		b.flush(live)
 	}
 }
 
-// flush dispatches one collected batch as a fused round and demuxes the
+// flush dispatches one sealed batch as a fused round and demuxes the
 // per-volume outputs (or the round error) to the waiting requests. The
 // caller (loop) already holds one sem slot for this round; the dispatch
 // goroutine releases it.
@@ -141,15 +182,15 @@ func (b *batcher) flush(batch []*batchReq) {
 		for i, r := range batch {
 			in[i] = r.inputs
 		}
-		outs, err := b.dispatch(in)
+		outs, gen, err := b.dispatch(in)
 		if err != nil {
 			for _, r := range batch {
-				r.done <- batchResult{err: err}
+				r.done <- batchResult{gen: gen, err: err}
 			}
 			return
 		}
 		for i, r := range batch {
-			r.done <- batchResult{outs: outs[i]}
+			r.done <- batchResult{outs: outs[i], gen: gen}
 		}
 	}()
 }

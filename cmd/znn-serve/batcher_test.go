@@ -18,14 +18,14 @@ import (
 // stubDispatch returns a dispatch function that tags each volume's output
 // with its batch index so demuxing errors are visible, and records batch
 // widths.
-func stubDispatch(mu *sync.Mutex, widths *[]int, fail func(width int) error) func([][]*znn.Tensor) ([][]*znn.Tensor, error) {
-	return func(batch [][]*znn.Tensor) ([][]*znn.Tensor, error) {
+func stubDispatch(mu *sync.Mutex, widths *[]int, fail func(width int) error) func([][]*znn.Tensor) ([][]*znn.Tensor, int64, error) {
+	return func(batch [][]*znn.Tensor) ([][]*znn.Tensor, int64, error) {
 		mu.Lock()
 		*widths = append(*widths, len(batch))
 		mu.Unlock()
 		if fail != nil {
 			if err := fail(len(batch)); err != nil {
-				return nil, err
+				return nil, 1, err
 			}
 		}
 		outs := make([][]*znn.Tensor, len(batch))
@@ -34,7 +34,7 @@ func stubDispatch(mu *sync.Mutex, widths *[]int, fail func(width int) error) fun
 			o.Data[0] = in[0].Data[0] // echo a volume fingerprint
 			outs[i] = []*znn.Tensor{o}
 		}
-		return outs, nil
+		return outs, 1, nil
 	}
 }
 
@@ -59,7 +59,7 @@ func TestBatcherCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			outs, err := b.submit(reqTensor(float64(i)))
+			outs, _, err := b.submit(reqTensor(float64(i)), time.Time{})
 			if err != nil {
 				errs <- err
 				return
@@ -101,7 +101,7 @@ func TestBatcherLoneRequestDispatchesAfterDelay(t *testing.T) {
 	start := time.Now()
 	done := make(chan error, 1)
 	go func() {
-		_, err := b.submit(reqTensor(7))
+		_, _, err := b.submit(reqTensor(7), time.Time{})
 		done <- err
 	}()
 	select {
@@ -130,7 +130,7 @@ func TestBatcherGreedyLoneRequestNoDelay(t *testing.T) {
 	b := newBatcher(stubDispatch(&mu, &widths, nil), 8, 0, nil)
 	defer b.close()
 	start := time.Now()
-	if _, err := b.submit(reqTensor(1)); err != nil {
+	if _, _, err := b.submit(reqTensor(1), time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
@@ -168,7 +168,7 @@ func TestBatcherErrorIsolation(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = b.submit(reqTensor(float64(i)))
+			_, _, errs[i] = b.submit(reqTensor(float64(i)), time.Time{})
 		}(i)
 	}
 	wg.Wait()
@@ -178,7 +178,7 @@ func TestBatcherErrorIsolation(t *testing.T) {
 		}
 	}
 	// The next batch must be unaffected.
-	outs, err := b.submit(reqTensor(9))
+	outs, _, err := b.submit(reqTensor(9), time.Time{})
 	if err != nil {
 		t.Fatalf("batch after a failed round inherited its error: %v", err)
 	}

@@ -12,44 +12,59 @@
 // on an idle server dispatches immediately, and batches form exactly when
 // load makes requests queue. -max-batch 1 disables batching entirely.
 //
+// The process is built to survive production churn:
+//
+//   - Hot reload: POST /reload compiles a checkpoint into a fresh model
+//     generation and atomically swaps it in; in-flight rounds drain on the
+//     old generation (no request fails, delays, or mixes weights), and
+//     /healthz reports the generation counter and reload state.
+//   - Admission control: requests carry deadlines (X-Deadline-Ms header or
+//     -default-deadline); a deadline that expires while queued frees the
+//     request without occupying a batch slot (504). Past -max-queue
+//     requests in the server, new ones shed immediately with 429 and a
+//     Retry-After derived from the EW latency gauge.
+//   - Graceful shutdown: SIGINT/SIGTERM stops accepting, drains in-flight
+//     rounds within -drain-timeout, and exits 0.
+//
 // Usage:
 //
 //	znn-serve -checkpoint model.znn [-addr :8080] [-inflight 2N] [-workers N]
-//	          [-max-batch K] [-batch-delay µs]
+//	          [-max-batch K] [-batch-delay µs] [-max-queue N]
+//	          [-default-deadline 0] [-drain-timeout 30s]
 //	znn-serve -spec C3-Trelu-C1 -width 4 -out 8    # random weights (smoke/demo)
 //
 // Endpoints:
 //
-//	GET  /healthz  liveness + the network's input/output geometry
+//	GET  /healthz  liveness, input/output geometry, model generation + reload state
 //	POST /infer    {"data":[...]} or {"inputs":[[...],...]} → outputs
-//	GET  /stats    scheduler, mempool, serving and batcher counters
+//	POST /reload   {"checkpoint": path}? → hot-swap weights (default: -checkpoint)
+//	GET  /stats    scheduler, mempool, serving, batcher and admission counters
 //
 // /infer accepts one flat float64 array per input volume in x-fastest
 // (x, then y, then z) order; "shape" is optional and defaults to the
 // network's input shape. The response mirrors the layout: one flat array
-// plus shape per output volume.
+// plus shape per output volume, and names the model generation that served
+// the request.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
-	"sync/atomic"
+	"syscall"
 	"time"
 
 	"znn"
-	"znn/internal/fft"
-	"znn/internal/mempool"
-	"znn/internal/tensor"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	checkpoint := flag.String("checkpoint", "", "checkpoint file written by znn-train (optional)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file written by znn-train (optional; also the default /reload source)")
 	spec := flag.String("spec", "C3-Trelu-C1", "layer spec when no checkpoint is given")
 	width := flag.Int("width", 2, "hidden layer width when no checkpoint is given")
 	out := flag.Int("out", 8, "output patch extent when no checkpoint is given")
@@ -58,6 +73,9 @@ func main() {
 	inflight := flag.Int("inflight", 0, "max concurrent inference rounds (0 = 2×workers)")
 	maxBatch := flag.Int("max-batch", 4, "max requests fused into one K-wide round (1 = no batching)")
 	batchDelay := flag.Int("batch-delay", 0, "microseconds the batcher waits for a fuller batch (0 = dispatch greedily, no added latency)")
+	maxQueue := flag.Int("max-queue", 0, "shed 429 past this many requests in the server (0 = 4×inflight×max-batch, -1 = never shed)")
+	defaultDeadline := flag.Duration("default-deadline", 0, "deadline for requests without X-Deadline-Ms (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget for in-flight rounds")
 	f32 := flag.Bool("f32", false, "run the spectral pipeline in float32/complex64")
 	seed := flag.Int64("seed", 1, "initialization seed when no checkpoint is given")
 	flag.Parse()
@@ -75,12 +93,10 @@ func main() {
 	var nw *znn.Network
 	var err error
 	if *checkpoint != "" {
-		f, ferr := os.Open(*checkpoint)
-		if ferr != nil {
-			log.Fatal(ferr)
+		nw, err = znn.LoadFile(*checkpoint, *workers)
+		if err != nil {
+			log.Fatal(znn.CheckpointHint(err))
 		}
-		nw, err = znn.Load(f, *workers)
-		f.Close()
 	} else {
 		nw, err = znn.NewNetwork(*spec, znn.Config{
 			Width:       *width,
@@ -90,17 +106,25 @@ func main() {
 			Float32:     *f32,
 			Seed:        *seed,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer nw.Close()
 	nw.SetTraining(false)
 
 	s := newServer(nw, *inflight, *maxBatch, time.Duration(*batchDelay)*time.Microsecond)
+	s.reloadPath = *checkpoint
+	s.defaultDeadline = *defaultDeadline
+	switch {
+	case *maxQueue > 0:
+		s.maxQueue = *maxQueue
+	case *maxQueue < 0:
+		s.maxQueue = 0 // never shed
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/infer", s.handleInfer)
+	mux.HandleFunc("/reload", s.handleReload)
 	mux.HandleFunc("/stats", s.handleStats)
 
 	srv := &http.Server{
@@ -112,212 +136,32 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	log.Printf("znn-serve: %v", nw)
-	log.Printf("znn-serve: listening on %s (workers=%d, inflight=%d, max-batch=%d, batch-delay=%s)",
-		*addr, *workers, *inflight, *maxBatch, time.Duration(*batchDelay)*time.Microsecond)
-	log.Fatal(srv.ListenAndServe())
-}
+	log.Printf("znn-serve: listening on %s (workers=%d, inflight=%d, max-batch=%d, batch-delay=%s, max-queue=%d, default-deadline=%s)",
+		*addr, *workers, *inflight, *maxBatch, time.Duration(*batchDelay)*time.Microsecond, s.maxQueue, *defaultDeadline)
 
-// server holds the shared network, the in-flight round limiter, and the
-// request batcher. Each HTTP request either joins a fused K-wide round via
-// the batcher (max-batch > 1) or runs one forward-only round directly; the
-// semaphore bounds how many rounds are admitted to the scheduler at once,
-// so a burst queues in cheap HTTP goroutines instead of flooding the task
-// queue.
-type server struct {
-	nw      *znn.Network
-	sem     chan struct{}
-	batch   *batcher // nil when batching is disabled
-	start   time.Time
-	maxBody int64
-
-	served    atomic.Int64 // completed inference requests
-	rejected  atomic.Int64 // malformed requests
-	requests  atomic.Int64 // requests currently in the server (queued or running)
-	inferNsEW atomic.Int64 // exponentially weighted request latency (ns)
-}
-
-// newServer assembles the serving state around a loaded network.
-func newServer(nw *znn.Network, inflight, maxBatch int, batchDelay time.Duration) *server {
-	s := &server{nw: nw, sem: make(chan struct{}, inflight), start: time.Now()}
-	// Bound the request body well above the JSON encoding of the expected
-	// input volumes (~25 bytes per float64 voxel, ×2 headroom, per input
-	// node) so a hostile POST cannot buffer gigabytes.
-	s.maxBody = int64(nw.InputShape().Volume())*int64(nw.NumInputs())*25*2 + 1<<20
-	if maxBatch > 1 {
-		s.batch = newBatcher(nw.InferBatchFusedMulti, maxBatch, batchDelay, s.sem)
+	// Graceful shutdown: SIGINT/SIGTERM stops the listener, in-flight
+	// requests finish within -drain-timeout, then the engine drains and
+	// the process exits 0. A second signal aborts immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
 	}
-	return s
-}
-
-// volume is the wire form of one image volume.
-type volume struct {
-	Shape []int     `json:"shape,omitempty"`
-	Data  []float64 `json:"data"`
-}
-
-// inferRequest carries either one volume (Data/Shape at the top level) or
-// several input volumes for multi-input networks.
-type inferRequest struct {
-	volume
-	Inputs []volume `json:"inputs,omitempty"`
-}
-
-type inferResponse struct {
-	Outputs []volume `json:"outputs"`
-	Ms      float64  `json:"ms"`
-}
-
-func shapeOf(s tensor.Shape) []int { return []int{s.X, s.Y, s.Z} }
-
-// toTensor validates one wire volume against the expected shape.
-func toTensor(v volume, want tensor.Shape) (*znn.Tensor, error) {
-	got := want
-	if len(v.Shape) > 0 {
-		if len(v.Shape) != 3 {
-			return nil, fmt.Errorf("shape must have 3 extents, got %d", len(v.Shape))
-		}
-		got = tensor.Shape{X: v.Shape[0], Y: v.Shape[1], Z: v.Shape[2]}
+	stop() // restore default signal behaviour: a second signal kills us
+	log.Printf("znn-serve: signal received, draining in-flight rounds (timeout %s)", *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("znn-serve: forced close after drain timeout: %v", err)
+		srv.Close()
 	}
-	if got != want {
-		return nil, fmt.Errorf("input shape %v, want %v", got, want)
-	}
-	if len(v.Data) != want.Volume() {
-		return nil, fmt.Errorf("data length %d, want %d for shape %v", len(v.Data), want.Volume(), want)
-	}
-	t := znn.NewTensor(want)
-	copy(t.Data, v.Data)
-	return t, nil
-}
-
-func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	var req inferRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
-		s.rejected.Add(1)
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
-		return
-	}
-	vols := req.Inputs
-	if len(vols) == 0 {
-		vols = []volume{req.volume}
-	}
-	if len(vols) != s.nw.NumInputs() {
-		s.rejected.Add(1)
-		http.Error(w, fmt.Sprintf("got %d input volumes, network has %d input nodes",
-			len(vols), s.nw.NumInputs()), http.StatusBadRequest)
-		return
-	}
-	want := s.nw.InputShape()
-	inputs := make([]*znn.Tensor, len(vols))
-	for i, v := range vols {
-		t, err := toTensor(v, want)
-		if err != nil {
-			s.rejected.Add(1)
-			http.Error(w, fmt.Sprintf("input %d: %v", i, err), http.StatusBadRequest)
-			return
-		}
-		inputs[i] = t
-	}
-
-	s.requests.Add(1)
-	start := time.Now()
-	var outs []*znn.Tensor
-	var err error
-	if s.batch != nil {
-		// Join the coalescing queue; the batcher holds a sem slot per
-		// dispatched fused round, and per-request latency includes the
-		// coalesce wait (tracked separately in the batcher's EW gauge).
-		outs, err = s.batch.submit(inputs)
+	if s.shutdown(*drainTimeout) {
+		log.Printf("znn-serve: drained %d served requests cleanly, exiting", s.served.Load())
 	} else {
-		s.sem <- struct{}{} // admit into the in-flight round budget
-		outs, err = s.nw.Infer(inputs...)
-		<-s.sem
+		log.Printf("znn-serve: drain timed out after %s, exiting anyway", *drainTimeout)
 	}
-	elapsed := time.Since(start)
-	s.requests.Add(-1)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	s.served.Add(1)
-	// EW latency: 7/8 old + 1/8 new; CAS so concurrent requests don't
-	// lose each other's samples.
-	ewmaUpdate(&s.inferNsEW, elapsed.Nanoseconds())
-
-	resp := inferResponse{Ms: float64(elapsed.Nanoseconds()) / 1e6}
-	for _, o := range outs {
-		resp.Outputs = append(resp.Outputs, volume{Shape: shapeOf(o.S), Data: o.Data})
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"ok":            true,
-		"spec":          s.nw.Spec(),
-		"input_shape":   shapeOf(s.nw.InputShape()),
-		"output_shape":  shapeOf(s.nw.OutputShape()),
-		"input_volume":  s.nw.InputShape().Volume(),
-		"output_volume": s.nw.OutputShape().Volume(),
-		"params":        s.nw.NumParams(),
-	})
-}
-
-// poolStats is the wire form of one mempool gauge set.
-type poolStats struct {
-	Hits          int64 `json:"hits"`
-	Misses        int64 `json:"misses"`
-	Puts          int64 `json:"puts"`
-	LiveBytes     int64 `json:"live_bytes"`
-	PeakLiveBytes int64 `json:"peak_live_bytes"`
-	PoolBytes     int64 `json:"pool_bytes"`
-}
-
-func poolWire(st mempool.Stats) poolStats {
-	return poolStats{
-		Hits: st.Hits, Misses: st.Misses, Puts: st.Puts,
-		LiveBytes: st.LiveBytes, PeakLiveBytes: st.PeakLiveBytes, PoolBytes: st.PoolBytes,
-	}
-}
-
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	sch := s.nw.Stats()
-	stats := map[string]any{
-		"uptime_s": time.Since(s.start).Seconds(),
-		"served":   s.served.Load(),
-		"rejected": s.rejected.Load(),
-		// inflight counts rounds holding a semaphore slot (≤ max_inflight,
-		// as in the unbatched server); requests_inflight counts HTTP
-		// requests inside the server, including those still coalescing in
-		// the batcher queue — the difference is the queue depth.
-		"inflight":          len(s.sem),
-		"requests_inflight": s.requests.Load(),
-		"infer_ms_ew":       float64(s.inferNsEW.Load()) / 1e6,
-		"max_inflight":      cap(s.sem),
-		"sched_executed":    sch.Executed,
-		"sched_forced":      sch.ForcedInline + sch.ForcedClaimed + sch.ForcedAttached,
-		"pool_images":       poolWire(mempool.Images.Stats()),
-		"pool_spectra":      poolWire(mempool.Spectra.Stats()),
-		"pool_spectra_f32":  poolWire(mempool.Spectra32.Stats()),
-		// Which complex64 kernel set this process dispatched to ("avx2",
-		// "scalar", or "purego") and how many kernel calls it has made —
-		// the first thing to check when two hosts disagree on infer_ms_ew.
-		"kernel_path":       fft.KernelPath(),
-		"kernel_dispatches": fft.KernelDispatches(),
-	}
-	if s.batch != nil {
-		stats["batches"] = s.batch.batches.Load()
-		stats["batched_requests"] = s.batch.batchedReqs.Load()
-		stats["batch_width_mean"] = s.batch.widthMean()
-		stats["coalesce_ms_ew"] = float64(s.batch.coalesceNsEW.Load()) / 1e6
-		stats["max_batch"] = s.batch.maxBatch
-		stats["batch_delay_us"] = s.batch.delay.Microseconds()
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(stats)
 }

@@ -7,14 +7,18 @@
 //	          [-workers N] [-rounds 200] [-eta 0.5] [-momentum 0.9]
 //	          [-loss mean-bce] [-data boundary|texture|random]
 //	          [-conv auto|direct|fft] [-memoize] [-sliding]
-//	          [-checkpoint file]
+//	          [-checkpoint file] [-resume file]
+//
+// -checkpoint writes crash-safely (temp file + fsync + atomic rename), so a
+// kill mid-save leaves the previous checkpoint intact. -resume restores a
+// checkpoint and continues training it (spec/width flags are then ignored —
+// the network geometry comes from the file).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"runtime"
 	"time"
 
@@ -37,7 +41,8 @@ func main() {
 	memoize := flag.Bool("memoize", true, "enable FFT memoization")
 	f32 := flag.Bool("f32", false, "run the spectral pipeline in float32/complex64")
 	sliding := flag.Bool("sliding", true, "convert pooling to sliding-window filtering")
-	checkpoint := flag.String("checkpoint", "", "write a checkpoint here when done")
+	checkpoint := flag.String("checkpoint", "", "write a checkpoint here when done (crash-safe: temp file + rename)")
+	resume := flag.String("resume", "", "resume training from this checkpoint (overrides -spec/-width/-out/-dims/-f32)")
 	seed := flag.Int64("seed", 1, "initialization seed")
 	flag.Parse()
 
@@ -59,22 +64,32 @@ func main() {
 		log.Fatalf("unknown conv mode %q", *convMode)
 	}
 
-	nw, err := znn.NewNetwork(*spec, znn.Config{
-		Width:         *width,
-		OutputPatch:   *out,
-		Dims:          *dims,
-		Workers:       *workers,
-		Eta:           *eta,
-		Momentum:      *momentum,
-		Loss:          *lossName,
-		Conv:          cm,
-		Memoize:       *memoize,
-		Float32:       *f32,
-		SlidingWindow: *sliding,
-		Seed:          *seed,
-	})
-	if err != nil {
-		log.Fatal(err)
+	var nw *znn.Network
+	var err error
+	if *resume != "" {
+		nw, err = znn.LoadFile(*resume, *workers)
+		if err != nil {
+			log.Fatal(znn.CheckpointHint(err))
+		}
+		fmt.Printf("resumed from %s\n", *resume)
+	} else {
+		nw, err = znn.NewNetwork(*spec, znn.Config{
+			Width:         *width,
+			OutputPatch:   *out,
+			Dims:          *dims,
+			Workers:       *workers,
+			Eta:           *eta,
+			Momentum:      *momentum,
+			Loss:          *lossName,
+			Conv:          cm,
+			Memoize:       *memoize,
+			Float32:       *f32,
+			SlidingWindow: *sliding,
+			Seed:          *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	defer nw.Close()
 
@@ -119,13 +134,10 @@ func main() {
 		st.Executed, st.ForcedInline, st.ForcedClaimed, st.ForcedAttached)
 
 	if *checkpoint != "" {
-		f, err := os.Create(*checkpoint)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := nw.Save(f); err != nil {
-			log.Fatal(err)
+		// SaveFile replaces the target atomically (temp + fsync + rename):
+		// a crash mid-save never leaves a torn checkpoint behind.
+		if err := nw.SaveFile(*checkpoint); err != nil {
+			log.Fatal(znn.CheckpointHint(err))
 		}
 		fmt.Printf("checkpoint written to %s\n", *checkpoint)
 	}

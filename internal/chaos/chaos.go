@@ -1,0 +1,133 @@
+// Package chaos is a runtime fault-injection registry for robustness
+// testing: production code marks its failure-prone seams with named
+// injection points (Inject("checkpoint.write"), Inject("round.dispatch"),
+// ...) and tests arm those points with errors, latency or panics to prove
+// the failure stays contained — a torn checkpoint save never corrupts the
+// previous file, a failed reload compile leaves the old generation
+// serving, a panicking round stays round-local.
+//
+// The registry is deliberately build-tag free: the disabled fast path is a
+// single atomic load (no map lookup, no lock), so the points can stay in
+// the production binary and be armed by tests — including tests driving a
+// real znn-serve process over HTTP — without a special build. Nothing arms
+// a fault except an explicit Set call; the default state of every point is
+// no-op.
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes what one armed injection point does when hit.
+type Fault struct {
+	// Err, when non-nil, is returned from Inject — the injected failure.
+	Err error
+	// Delay, when positive, is slept before the fault (or the no-op)
+	// resolves: latency injection.
+	Delay time.Duration
+	// Panic, when non-empty, makes Inject panic with this message after
+	// Delay. Used to prove panic containment (sched attributes round-task
+	// panics to their round, not the engine).
+	Panic string
+	// After skips the first After hits of the point before firing: fault
+	// the Nth write, not the first.
+	After int
+	// Count bounds how many times the fault fires (0 = every hit after
+	// After). A Count-exhausted fault reverts to a no-op but stays
+	// registered for hit accounting.
+	Count int
+}
+
+type entry struct {
+	f     Fault
+	hits  int // times the point was evaluated while armed
+	fired int // times the fault actually fired
+}
+
+var (
+	armed  atomic.Int32 // number of registered points; 0 = fast no-op path
+	mu     sync.Mutex
+	points = map[string]*entry{}
+)
+
+// Inject evaluates the named point: a no-op returning nil unless a test
+// armed the point with Set. When armed it sleeps Fault.Delay, panics on
+// Fault.Panic, or returns Fault.Err, honouring After/Count windows.
+func Inject(point string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	e := points[point]
+	if e == nil {
+		mu.Unlock()
+		return nil
+	}
+	e.hits++
+	if e.hits <= e.f.After || (e.f.Count > 0 && e.fired >= e.f.Count) {
+		mu.Unlock()
+		return nil
+	}
+	e.fired++
+	f := e.f
+	mu.Unlock()
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic != "" {
+		panic("chaos: " + f.Panic)
+	}
+	return f.Err
+}
+
+// Set arms (or re-arms, resetting counters) the named point.
+func Set(point string, f Fault) {
+	mu.Lock()
+	if _, ok := points[point]; !ok {
+		armed.Add(1)
+	}
+	points[point] = &entry{f: f}
+	mu.Unlock()
+}
+
+// Clear disarms the named point.
+func Clear(point string) {
+	mu.Lock()
+	if _, ok := points[point]; ok {
+		delete(points, point)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// ClearAll disarms every point (test cleanup).
+func ClearAll() {
+	mu.Lock()
+	for p := range points {
+		delete(points, p)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Hits reports how many times the named point was evaluated while armed.
+func Hits(point string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if e := points[point]; e != nil {
+		return e.hits
+	}
+	return 0
+}
+
+// Fired reports how many times the named point's fault actually fired.
+func Fired(point string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if e := points[point]; e != nil {
+		return e.fired
+	}
+	return 0
+}

@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	ClearAll()
+	if err := Inject("nowhere"); err != nil {
+		t.Fatalf("disarmed Inject returned %v", err)
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	defer ClearAll()
+	boom := errors.New("boom")
+	Set("p", Fault{Err: boom})
+	if err := Inject("p"); !errors.Is(err, boom) {
+		t.Fatalf("Inject = %v, want %v", err, boom)
+	}
+	if err := Inject("other"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if Hits("p") != 1 || Fired("p") != 1 {
+		t.Fatalf("hits/fired = %d/%d, want 1/1", Hits("p"), Fired("p"))
+	}
+	Clear("p")
+	if err := Inject("p"); err != nil {
+		t.Fatalf("cleared point fired: %v", err)
+	}
+}
+
+func TestAfterAndCountWindows(t *testing.T) {
+	defer ClearAll()
+	boom := errors.New("boom")
+	Set("p", Fault{Err: boom, After: 2, Count: 1})
+	for i := 0; i < 2; i++ {
+		if err := Inject("p"); err != nil {
+			t.Fatalf("hit %d fired before the After window: %v", i, err)
+		}
+	}
+	if err := Inject("p"); !errors.Is(err, boom) {
+		t.Fatalf("hit 3 = %v, want the fault", err)
+	}
+	if err := Inject("p"); err != nil {
+		t.Fatalf("Count-exhausted fault fired again: %v", err)
+	}
+	if Fired("p") != 1 {
+		t.Fatalf("fired = %d, want 1", Fired("p"))
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	defer ClearAll()
+	Set("p", Fault{Panic: "kaboom"})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic fault did not panic")
+		}
+	}()
+	Inject("p")
+}
+
+func TestDelayFault(t *testing.T) {
+	defer ClearAll()
+	Set("p", Fault{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Inject("p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("latency fault resolved after %v, want ≥ 20ms", d)
+	}
+}

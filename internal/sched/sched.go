@@ -16,6 +16,8 @@ package sched
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Kind distinguishes normal (forward/backward/provider/loss) tasks from
@@ -340,6 +342,41 @@ func (e *Engine) Drain() {
 	for e.pendingWork > 0 || e.pendingUpdate > 0 {
 		e.idle.Wait()
 	}
+}
+
+// Quiesce blocks until no tasks of either kind remain or d elapses,
+// reporting whether the engine went idle. It is the bounded-drain hook for
+// graceful shutdown: a server draining in-flight rounds on SIGTERM wants
+// Drain's semantics but cannot wait forever on a wedged round. On timeout
+// the engine is left running (tasks keep executing); the caller decides
+// whether to abandon it.
+func (e *Engine) Quiesce(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	done := make(chan struct{})
+	var timedOut atomic.Bool
+	// The idle condition variable has no native timed wait; a watchdog
+	// goroutine wakes the waiters at the deadline so the loop below can
+	// re-check the clock.
+	go func() {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-done:
+		case <-timer.C:
+			timedOut.Store(true)
+			e.mu.Lock()
+			e.idle.Broadcast()
+			e.mu.Unlock()
+		}
+	}()
+	e.mu.Lock()
+	for (e.pendingWork > 0 || e.pendingUpdate > 0) && !timedOut.Load() && time.Now().Before(deadline) {
+		e.idle.Wait()
+	}
+	idle := e.pendingWork == 0 && e.pendingUpdate == 0
+	e.mu.Unlock()
+	close(done)
+	return idle
 }
 
 // Pending returns the numbers of pending Work and Update tasks.

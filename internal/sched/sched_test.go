@@ -354,3 +354,29 @@ func TestEnqueueTwicePanics(t *testing.T) {
 	}()
 	e.Enqueue(tk)
 }
+
+// TestQuiesce covers the bounded drain: an idle engine quiesces
+// immediately, a busy one quiesces once its tasks finish, and a wedged
+// task makes Quiesce report false at the deadline instead of hanging.
+func TestQuiesce(t *testing.T) {
+	e := New(1, NewPriorityStrategy())
+	defer e.Shutdown()
+
+	if !e.Quiesce(10 * time.Millisecond) {
+		t.Fatal("idle engine did not quiesce")
+	}
+
+	done := make(chan struct{})
+	e.Spawn(Work, 1, func() { <-done })
+	start := time.Now()
+	if e.Quiesce(30 * time.Millisecond) {
+		t.Fatal("Quiesce reported idle while a task was wedged")
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("Quiesce returned before its deadline")
+	}
+	close(done)
+	if !e.Quiesce(5 * time.Second) {
+		t.Fatal("engine did not quiesce after the wedged task finished")
+	}
+}

@@ -2,6 +2,7 @@ package train
 
 import (
 	"sync"
+	"time"
 
 	"znn/internal/graph"
 	"znn/internal/sched"
@@ -264,4 +265,19 @@ func (en *Engine) Close() error {
 	err := en.Drain()
 	en.p.sch.Shutdown()
 	return err
+}
+
+// CloseTimeout is Close with a bounded drain: it waits up to d for the
+// scheduler to go idle, then shuts the workers down if it did. When the
+// drain times out (a wedged round mid-crash) it reports false and leaves
+// the engine running — the graceful-shutdown caller exits anyway rather
+// than hanging forever, which is the drain contract a serving process
+// needs on SIGTERM.
+func (en *Engine) CloseTimeout(d time.Duration) (drained bool, err error) {
+	drained = en.p.sch.Quiesce(d)
+	err = en.p.sch.Err()
+	if drained {
+		en.p.sch.Shutdown()
+	}
+	return drained, err
 }

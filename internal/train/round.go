@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"znn/internal/chaos"
 	"znn/internal/conv"
 	"znn/internal/fft"
 	"znn/internal/graph"
@@ -197,6 +198,14 @@ func (p *Program) newRound(batch [][]*tensor.Tensor, desired []*tensor.Tensor, b
 func (rs *RoundState) run() error {
 	providerPrio := int64(1 << 30) // runs before any forward task
 	rs.sr.Spawn(sched.Work, providerPrio, func() {
+		// The "round.dispatch" chaos point fires inside the round's own
+		// provider task, so an injected panic or error lands exactly where
+		// a real mid-round fault would: attributed to THIS round by the
+		// scheduler (round-local containment), never the engine's sticky
+		// error or a sibling round.
+		if err := chaos.Inject("round.dispatch"); err != nil {
+			panic(err)
+		}
 		for i, node := range rs.p.inputs {
 			rn := &rs.nodes[node.ID]
 			imgs := make([]*tensor.Tensor, rs.k)

@@ -23,6 +23,7 @@ package znn
 
 import (
 	"fmt"
+	"time"
 
 	"znn/internal/conv"
 	"znn/internal/net"
@@ -218,6 +219,9 @@ func (n *Network) OutputShape() Shape { return n.nw.OutputShape() }
 // NumParams returns the number of trainable scalars.
 func (n *Network) NumParams() int { return n.nw.NumParams() }
 
+// Workers returns the scheduler worker count the network runs on.
+func (n *Network) Workers() int { return n.en.Workers() }
+
 // Spec returns the (possibly sliding-window-transformed) layer spec.
 func (n *Network) Spec() string { return n.spec.String() }
 
@@ -345,6 +349,15 @@ func (n *Network) Stats() sched.Stats { return n.en.SchedulerStats() }
 
 // Close applies pending weight updates and stops the workers.
 func (n *Network) Close() error { return n.en.Close() }
+
+// CloseTimeout closes the network with a bounded drain: it waits up to d
+// for in-flight rounds and pending updates to finish, then stops the
+// workers. It reports whether the drain completed; on false the workers
+// are left running (the caller is expected to be exiting the process).
+// This is the drain hook znn-serve's graceful shutdown uses.
+func (n *Network) CloseTimeout(d time.Duration) (drained bool, err error) {
+	return n.en.CloseTimeout(d)
+}
 
 // String summarizes the network.
 func (n *Network) String() string {
