@@ -196,6 +196,26 @@ func (n *Network) SaveFile(path string) (err error) {
 // ErrCheckpointGeometry (parameters do not fit the rebuilt network), so
 // callers branch with errors.Is.
 func Load(r io.Reader, workers int) (*Network, error) {
+	return loadWith(r, workers, nil)
+}
+
+// LoadPlanned is Load with the execution planner enabled on the rebuilt
+// network: the plan is recomputed for this machine and budget (plans are
+// not persisted — they describe an execution strategy, not the model), so
+// a checkpoint trained unplanned serves planned and vice versa. budget is
+// the pooled-spectrum byte budget (0 = unconstrained); maxK caps the
+// planner's fused batch width (0 = default).
+func LoadPlanned(r io.Reader, workers int, budget int64, maxK int) (*Network, error) {
+	return loadWith(r, workers, func(cfg *Config) {
+		cfg.Planned = true
+		cfg.MemBudget = budget
+		cfg.PlanMaxK = maxK
+	})
+}
+
+// loadWith is the shared Load body; mutate, when non-nil, adjusts the
+// stored config before the network is rebuilt.
+func loadWith(r io.Reader, workers int, mutate func(*Config)) (*Network, error) {
 	if err := chaos.Inject("checkpoint.load"); err != nil {
 		return nil, fmt.Errorf("znn: reading checkpoint: %w", err)
 	}
@@ -222,6 +242,9 @@ func Load(r io.Reader, workers int) (*Network, error) {
 	if workers > 0 {
 		cfg.Workers = workers
 	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	n, err := NewNetwork(cp.Spec, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("znn: rebuilding network from spec %q (%v): %w", cp.Spec, err, ErrCheckpointSpec)
@@ -242,6 +265,17 @@ func LoadFile(path string, workers int) (*Network, error) {
 	}
 	defer f.Close()
 	return Load(f, workers)
+}
+
+// LoadFilePlanned opens and loads a checkpoint file with the execution
+// planner enabled (see LoadPlanned).
+func LoadFilePlanned(path string, workers int, budget int64, maxK int) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("znn: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	return LoadPlanned(f, workers, budget, maxK)
 }
 
 // readV2 parses a v2 checkpoint stream positioned at the magic.

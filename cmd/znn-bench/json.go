@@ -20,15 +20,17 @@ import (
 // diffs across hosts and across the vector/scalar A/B rows stay
 // interpretable.
 type benchRecord struct {
-	Name     string  `json:"name"`
-	Shape    string  `json:"shape"`
-	NsOp     int64   `json:"ns_op"`
-	BytesOp  int64   `json:"bytes_op"`            // allocated bytes per op
-	Workers  int     `json:"workers,omitempty"`   // scheduler workers, when the row uses them
-	P99Ns    int64   `json:"p99_ns,omitempty"`    // tail latency, loadgen rows (ns_op is p50)
-	ShedRate float64 `json:"shed_rate,omitempty"` // fraction of requests shed 429, loadgen rows
-	Arch     string  `json:"goarch"`
-	Features string  `json:"features"`
+	Name      string  `json:"name"`
+	Shape     string  `json:"shape"`
+	NsOp      int64   `json:"ns_op"`
+	BytesOp   int64   `json:"bytes_op"`                       // allocated bytes per op
+	Workers   int     `json:"workers,omitempty"`              // scheduler workers, when the row uses them
+	P99Ns     int64   `json:"p99_ns,omitempty"`               // tail latency, loadgen rows (ns_op is p50)
+	ShedRate  float64 `json:"shed_rate,omitempty"`            // fraction of requests shed 429, loadgen rows
+	PredBytes int64   `json:"predicted_peak_bytes,omitempty"` // planner's pooled-peak estimate, plan/* rows
+	MeasBytes int64   `json:"measured_peak_bytes,omitempty"`  // measured pooled peak, plan/* rows
+	Arch      string  `json:"goarch"`
+	Features  string  `json:"features"`
 }
 
 // benchFile is the BENCH_<date>.json schema: metadata plus one record per
@@ -60,21 +62,33 @@ func jsonBenchmarks(cfg config) {
 		const runs = 3
 		ns := make([]int64, 0, runs)
 		bs := make([]int64, 0, runs)
+		var pred, meas int64
 		for i := 0; i < runs; i++ {
 			r := testing.Benchmark(fn)
 			ns = append(ns, r.NsPerOp())
 			bs = append(bs, r.AllocedBytesPerOp())
+			// plan/* rows report the planner's byte estimate and the
+			// measured pooled peak as Extra metrics; the peak keeps its
+			// worst observation across the three runs.
+			if v, ok := r.Extra["pred_bytes"]; ok {
+				pred = int64(v)
+			}
+			if v, ok := r.Extra["meas_bytes"]; ok && int64(v) > meas {
+				meas = int64(v)
+			}
 		}
 		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
 		sort.Slice(bs, func(a, b int) bool { return bs[a] < bs[b] })
 		rec := benchRecord{
-			Name:     name,
-			Shape:    shape,
-			NsOp:     ns[runs/2],
-			BytesOp:  bs[runs/2],
-			Workers:  workers,
-			Arch:     runtime.GOARCH,
-			Features: fft.KernelPath(),
+			Name:      name,
+			Shape:     shape,
+			NsOp:      ns[runs/2],
+			BytesOp:   bs[runs/2],
+			Workers:   workers,
+			PredBytes: pred,
+			MeasBytes: meas,
+			Arch:      runtime.GOARCH,
+			Features:  fft.KernelPath(),
 		}
 		out.Results = append(out.Results, rec)
 		fmt.Printf("%-28s %-12s %12d ns/op %10d B/op\n", rec.Name, rec.Shape, rec.NsOp, rec.BytesOp)
@@ -149,6 +163,30 @@ func jsonBenchmarks(cfg config) {
 	add("infer-fused/fused8", "26x26x26", inferWorkers, func(b *testing.B) {
 		benchsuite.InferFused(b, inferWorkers, 8, true)
 	})
+
+	// Execution-planner A/B on the mixed-method benchmark net (direct 5³
+	// layer + FFT 7³ layer): the planned network against both global
+	// forcings, each row one fused round (ns_op is per round; vols/s =
+	// K·1e9/ns_op with K in the row's plan). predicted/measured_peak_bytes
+	// record the planner's byte estimate next to the pools' observed peak;
+	// plan/budget60 replans under ~60% of the unconstrained estimate and
+	// must keep the measured peak under that budget.
+	planWorkers := cfg.workers
+	add("plan/planned", "34x34x34", planWorkers, func(b *testing.B) {
+		benchsuite.PlanBench(b, "planned", 0, planWorkers)
+	})
+	add("plan/force-fft", "34x34x34", planWorkers, func(b *testing.B) {
+		benchsuite.PlanBench(b, "force-fft", 0, planWorkers)
+	})
+	add("plan/force-direct", "34x34x34", planWorkers, func(b *testing.B) {
+		benchsuite.PlanBench(b, "force-direct", 0, planWorkers)
+	})
+	if peak, err := benchsuite.PlanPeakEstimate(planWorkers); err == nil {
+		budget := peak * 6 / 10
+		add("plan/budget60", "34x34x34", planWorkers, func(b *testing.B) {
+			benchsuite.PlanBench(b, "planned", budget, planWorkers)
+		})
+	}
 
 	name := fmt.Sprintf("BENCH_%s.json", out.Date)
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -31,6 +31,16 @@
 //	znn-serve -checkpoint model.znn [-addr :8080] [-inflight 2N] [-workers N]
 //	          [-max-batch K] [-batch-delay µs] [-max-queue N]
 //	          [-default-deadline 0] [-drain-timeout 30s]
+//	          [-plan] [-mem-budget bytes]
+//
+// -plan (or a nonzero -mem-budget) compiles the network from a
+// whole-network execution plan: the planner picks each conv layer's
+// (method, precision) and the fused batch width K so that estimated
+// throughput is maximal while the pooled spectrum footprint of one fused
+// round stays under -mem-budget (0 = unconstrained). The plan's K cap is
+// -max-batch, so the estimate covers the widest round the batcher can
+// dispatch; /stats reports the active plan and /healthz its budget.
+//
 //	znn-serve -spec C3-Trelu-C1 -width 4 -out 8    # random weights (smoke/demo)
 //
 // Endpoints:
@@ -77,6 +87,8 @@ func main() {
 	defaultDeadline := flag.Duration("default-deadline", 0, "deadline for requests without X-Deadline-Ms (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain budget for in-flight rounds")
 	f32 := flag.Bool("f32", false, "run the spectral pipeline in float32/complex64")
+	planned := flag.Bool("plan", false, "compile from a whole-network execution plan (per-layer method/precision under -mem-budget)")
+	memBudget := flag.Int64("mem-budget", 0, "pooled spectrum byte budget for the execution plan (0 = unconstrained; implies -plan)")
 	seed := flag.Int64("seed", 1, "initialization seed when no checkpoint is given")
 	flag.Parse()
 
@@ -90,10 +102,17 @@ func main() {
 		*inflight = 2 * *workers
 	}
 
+	usePlan := *planned || *memBudget > 0
 	var nw *znn.Network
 	var err error
 	if *checkpoint != "" {
-		nw, err = znn.LoadFile(*checkpoint, *workers)
+		if usePlan {
+			// PlanMaxK = -max-batch: the plan's byte estimate must cover the
+			// widest fused round the batcher can dispatch.
+			nw, err = znn.LoadFilePlanned(*checkpoint, *workers, *memBudget, *maxBatch)
+		} else {
+			nw, err = znn.LoadFile(*checkpoint, *workers)
+		}
 		if err != nil {
 			log.Fatal(znn.CheckpointHint(err))
 		}
@@ -105,6 +124,9 @@ func main() {
 			Workers:     *workers,
 			Float32:     *f32,
 			Seed:        *seed,
+			Planned:     *planned,
+			MemBudget:   *memBudget,
+			PlanMaxK:    *maxBatch,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -115,6 +137,8 @@ func main() {
 	s := newServer(nw, *inflight, *maxBatch, time.Duration(*batchDelay)*time.Microsecond)
 	s.reloadPath = *checkpoint
 	s.defaultDeadline = *defaultDeadline
+	s.planned = usePlan
+	s.memBudget = *memBudget
 	switch {
 	case *maxQueue > 0:
 		s.maxQueue = *maxQueue
@@ -136,6 +160,9 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	log.Printf("znn-serve: %v", nw)
+	if p := nw.Plan(); p != nil {
+		log.Printf("znn-serve: execution plan (budget=%d):\n%s", *memBudget, p.Table())
+	}
 	log.Printf("znn-serve: listening on %s (workers=%d, inflight=%d, max-batch=%d, batch-delay=%s, max-queue=%d, default-deadline=%s)",
 		*addr, *workers, *inflight, *maxBatch, time.Duration(*batchDelay)*time.Microsecond, s.maxQueue, *defaultDeadline)
 

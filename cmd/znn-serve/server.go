@@ -60,10 +60,15 @@ type server struct {
 	// reloadPath is the default checkpoint path for POST /reload bodies
 	// that don't name one (the -checkpoint flag value).
 	reloadPath string
-	reloadMu   sync.Mutex   // serializes reloads
-	reloading  atomic.Bool  // surfaced in /healthz while a reload compiles
-	reloads    atomic.Int64 // completed reloads
-	lastErr    atomic.Value // string: last reload failure, "" after success
+	// planned/memBudget mirror the -plan/-mem-budget flags: reloads then
+	// recompile under the same execution-plan regime as the startup build,
+	// and /healthz + /stats surface the budget and the active plan.
+	planned   bool
+	memBudget int64
+	reloadMu  sync.Mutex   // serializes reloads
+	reloading atomic.Bool  // surfaced in /healthz while a reload compiles
+	reloads   atomic.Int64 // completed reloads
+	lastErr   atomic.Value // string: last reload failure, "" after success
 
 	served    atomic.Int64 // completed inference requests
 	rejected  atomic.Int64 // malformed requests
@@ -381,7 +386,19 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusInternalServerError, fmt.Errorf("compiling %s: %w", path, err))
 		return
 	}
-	next, err := znn.LoadFile(path, s.workers)
+	var next *znn.Network
+	var err error
+	if s.planned {
+		// Recompute the plan for the new weights (kernel density may have
+		// changed) under the same budget and batch-width cap as startup.
+		maxK := 1
+		if s.batch != nil {
+			maxK = s.batch.maxBatch
+		}
+		next, err = znn.LoadFilePlanned(path, s.workers, s.memBudget, maxK)
+	} else {
+		next, err = znn.LoadFile(path, s.workers)
+	}
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
@@ -427,8 +444,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	g := s.current()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"ok":            true,
-		"spec":          g.nw.Spec(),
+		"ok":   true,
+		"spec": g.nw.Spec(),
+		// Execution-plan regime: planned is true when the serving network
+		// was compiled from a whole-network plan; mem_budget is the pooled
+		// spectrum byte budget it was planned under (0 = unconstrained).
+		"planned":       s.planned,
+		"mem_budget":    s.memBudget,
 		"input_shape":   shapeOf(g.nw.InputShape()),
 		"output_shape":  shapeOf(g.nw.OutputShape()),
 		"input_volume":  g.nw.InputShape().Volume(),
@@ -511,6 +533,12 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		stats["coalesce_ms_ew"] = float64(s.batch.coalesceNsEW.Load()) / 1e6
 		stats["max_batch"] = s.batch.maxBatch
 		stats["batch_delay_us"] = s.batch.delay.Microseconds()
+	}
+	// The active execution plan, when the serving generation was compiled
+	// from one: per-layer (method, precision) assignments plus the planner's
+	// cost and pooled-byte estimates (see internal/plan Stats).
+	if p := g.nw.Plan(); p != nil {
+		stats["plan"] = p.Stats()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(stats)

@@ -6,16 +6,27 @@
 //
 //	znn-speedup [-mode direct|fft|fft-memo] [-cpus 8,18,40,60,120]
 //	            [-depths 4,8,20,40] [-max-width 120] [-csv]
+//	znn-speedup -plan [-spec C5-Ttanh-C7] [-width 4] [-out-width 4] [-out 24]
+//	            [-dims 3] [-mem-budget bytes] [-max-k 8] [-workers N]
+//
+// -plan switches to the execution-planner view: instead of the analytic
+// Fig. 4 curves it builds the spec'd network, runs the whole-network
+// planner under -mem-budget, and prints the per-layer (method, precision)
+// assignment table with the plan's cost and pooled-byte estimates.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
+	"znn/internal/conv"
 	"znn/internal/model"
+	"znn/internal/net"
+	"znn/internal/plan"
 )
 
 func parseInts(s string) ([]int, error) {
@@ -36,7 +47,28 @@ func main() {
 	depths := flag.String("depths", "4,8,20,40", "network depths (conv layers)")
 	maxWidth := flag.Int("max-width", 120, "largest network width")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	planMode := flag.Bool("plan", false, "print the execution planner's assignment table for -spec instead of Fig. 4 curves")
+	spec := flag.String("spec", "C5-Ttanh-C7", "layer spec for -plan")
+	width := flag.Int("width", 4, "hidden conv layer width for -plan")
+	outWidth := flag.Int("out-width", 4, "output node count for -plan")
+	out := flag.Int("out", 24, "output patch extent for -plan")
+	dims := flag.Int("dims", 3, "2 or 3 dimensional images for -plan")
+	memBudget := flag.Int64("mem-budget", 0, "pooled spectrum byte budget for -plan (0 = unconstrained)")
+	maxK := flag.Int("max-k", 0, "planner's fused batch width cap for -plan (0 = default)")
+	measured := flag.Bool("measured", false, "calibrate the plan's costs with measured per-primitive timings")
+	f32 := flag.Bool("f32", false, "restrict the plan to the float32 spectral pipeline")
+	workers := flag.Int("workers", 0, "worker count the plan's byte model assumes (0 = all CPUs)")
+	seed := flag.Int64("seed", 1, "initialization seed for -plan (drives kernel density)")
 	flag.Parse()
+
+	if *planMode {
+		if err := printPlan(*spec, *width, *outWidth, *out, *dims, *memBudget, *maxK,
+			*measured, *f32, *workers, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var m model.Mode
 	switch *mode {
@@ -101,4 +133,40 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// printPlan builds the spec'd network (random weights, so kernel density
+// reflects initialization) and prints the execution planner's per-layer
+// assignment table under the given budget.
+func printPlan(spec string, width, outWidth, out, dims int, budget int64, maxK int,
+	measured, f32 bool, workers int, seed int64) error {
+	sp, err := net.Parse(spec)
+	if err != nil {
+		return err
+	}
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	nw, err := net.Build(sp, net.BuildOptions{
+		Width:        width,
+		OutWidth:     outWidth,
+		Dims:         dims,
+		OutputExtent: out,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := plan.Config{Budget: budget, MaxK: maxK, Measured: measured, Workers: workers}
+	if f32 {
+		cfg.Precisions = []conv.Precision{conv.PrecF32}
+	}
+	p, err := plan.Build(nw.LayerGeoms(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("execution plan for %s (width %d, out-width %d, input %v, budget %d)\n\n",
+		spec, width, outWidth, nw.InputShape(), budget)
+	fmt.Print(p.Table())
+	return nil
 }

@@ -40,6 +40,9 @@ func main() {
 	convMode := flag.String("conv", "auto", "conv: auto, measured, direct, fft")
 	memoize := flag.Bool("memoize", true, "enable FFT memoization")
 	f32 := flag.Bool("f32", false, "run the spectral pipeline in float32/complex64")
+	planned := flag.Bool("plan", false, "compile from a whole-network execution plan (per-layer method/precision under -mem-budget)")
+	memBudget := flag.Int64("mem-budget", 0, "pooled spectrum byte budget for the execution plan (0 = unconstrained; implies -plan)")
+	planMaxK := flag.Int("plan-max-k", 0, "planner's fused batch width cap (0 = default)")
 	sliding := flag.Bool("sliding", true, "convert pooling to sliding-window filtering")
 	checkpoint := flag.String("checkpoint", "", "write a checkpoint here when done (crash-safe: temp file + rename)")
 	resume := flag.String("resume", "", "resume training from this checkpoint (overrides -spec/-width/-out/-dims/-f32)")
@@ -67,7 +70,11 @@ func main() {
 	var nw *znn.Network
 	var err error
 	if *resume != "" {
-		nw, err = znn.LoadFile(*resume, *workers)
+		if *planned || *memBudget > 0 {
+			nw, err = znn.LoadFilePlanned(*resume, *workers, *memBudget, *planMaxK)
+		} else {
+			nw, err = znn.LoadFile(*resume, *workers)
+		}
 		if err != nil {
 			log.Fatal(znn.CheckpointHint(err))
 		}
@@ -86,6 +93,9 @@ func main() {
 			Float32:       *f32,
 			SlidingWindow: *sliding,
 			Seed:          *seed,
+			Planned:       *planned,
+			MemBudget:     *memBudget,
+			PlanMaxK:      *planMaxK,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -96,6 +106,9 @@ func main() {
 	fmt.Printf("%v\n", nw)
 	fmt.Printf("spec: %s | conv per layer: %v | workers: %d\n",
 		nw.Spec(), nw.LayerMethods(), *workers)
+	if p := nw.Plan(); p != nil {
+		fmt.Print(p.Table())
+	}
 
 	var provider data.Provider
 	switch *dataset {

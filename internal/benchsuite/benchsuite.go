@@ -12,7 +12,9 @@ import (
 
 	"znn/internal/conv"
 	"znn/internal/fft"
+	"znn/internal/mempool"
 	"znn/internal/net"
+	"znn/internal/plan"
 	"znn/internal/tensor"
 	"znn/internal/train"
 )
@@ -206,4 +208,96 @@ func InferFused(b *testing.B, workers, k int, fused bool) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*k)/b.Elapsed().Seconds(), "vols/s")
+}
+
+// planNet builds the execution-planner benchmark network: C5-Ttanh-C7,
+// width 4, out width 4, output extent 24 — the smallest shape class where
+// the planner's per-layer choice diverges from both global forcings (the
+// 5³ layer runs direct, the 7³ layer FFT at f32).
+func planNet(b *testing.B) *net.Network {
+	nw, err := net.Build(net.MustParse("C5-Ttanh-C7"), net.BuildOptions{
+		Width: 4, OutWidth: 4, OutputExtent: 24, Seed: 23,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nw
+}
+
+// PlanPeakEstimate returns the unconstrained plan's predicted pooled-peak
+// bytes for the PlanBench network — the base the budgeted row's "~60%"
+// budget is derived from.
+func PlanPeakEstimate(workers int) (int64, error) {
+	nw, err := net.Build(net.MustParse("C5-Ttanh-C7"), net.BuildOptions{
+		Width: 4, OutWidth: 4, OutputExtent: 24, Seed: 23,
+	})
+	if err != nil {
+		return 0, err
+	}
+	p, err := plan.Build(nw.LayerGeoms(), plan.Config{Workers: workers})
+	if err != nil {
+		return 0, err
+	}
+	return p.PeakBytes, nil
+}
+
+// PlanBench measures fused K-wide forward rounds of the planner benchmark
+// network under one execution regime:
+//
+//	"planned"       compile from plan.Build under the given byte budget
+//	"force-fft"     every layer FFT at f64 (the global TuneForceFFT regime)
+//	"force-direct"  every layer direct (the global TuneForceDirect regime)
+//
+// Each op is one fused round over the plan's K volumes (vols/s =
+// K·1e9/ns_op; a budget that degrades K shows up in the row). The Extra
+// metrics record the planner's predicted pooled-spectrum peak
+// ("pred_bytes") and the measured pooled peak across the timed rounds
+// ("meas_bytes": Spectra + Spectra32 PeakLiveBytes after a ResetPeak) —
+// the predicted-vs-measured pair the budget guarantee rests on.
+func PlanBench(b *testing.B, regime string, budget int64, workers int) {
+	nw := planNet(b)
+	var p *plan.Plan
+	var err error
+	switch regime {
+	case "planned":
+		p, err = plan.Build(nw.LayerGeoms(), plan.Config{Budget: budget, Workers: workers})
+	case "force-fft":
+		p = plan.Forced(nw.LayerGeoms(), conv.FFT, conv.PrecF64, 8)
+	case "force-direct":
+		p = plan.Forced(nw.LayerGeoms(), conv.Direct, conv.PrecF64, 8)
+	default:
+		b.Fatalf("unknown plan regime %q", regime)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	en, err := train.NewEngine(nw.G, train.Config{Workers: workers, Plan: p})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer en.Close()
+	en.SetTraining(false)
+	rng := rand.New(rand.NewSource(24))
+	batch := make([][]*tensor.Tensor, p.K)
+	for i := range batch {
+		batch[i] = []*tensor.Tensor{tensor.RandomUniform(rng, nw.InputShape(), -1, 1)}
+	}
+	// Warm kernel spectra and pools outside the timed region, then reset
+	// the pool peak gauges so meas_bytes reflects only the timed rounds.
+	if _, err := en.InferFused(batch); err != nil {
+		b.Fatal(err)
+	}
+	mempool.Spectra.ResetPeak()
+	mempool.Spectra32.ResetPeak()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := en.InferFused(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	meas := mempool.Spectra.Stats().PeakLiveBytes + mempool.Spectra32.Stats().PeakLiveBytes
+	b.ReportMetric(float64(p.PeakBytes), "pred_bytes")
+	b.ReportMetric(float64(meas), "meas_bytes")
+	b.ReportMetric(float64(b.N*p.K)/b.Elapsed().Seconds(), "vols/s")
 }

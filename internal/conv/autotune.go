@@ -50,13 +50,32 @@ func (p TunePolicy) String() string {
 
 // LayerGeom describes one fully connected convolutional layer for tuning
 // purposes: f input nodes, fPrime output nodes, input image shape, kernel
-// shape and sparsity.
+// shape and sparsity. Density is the mean nonzero fraction of the layer's
+// kernels in (0, 1]; zero means unknown and is treated as dense. It feeds
+// the sparse-direct cost term — before it existed, a mostly-zero (dilated
+// or pruned) kernel was costed as dense, biasing the tuner toward FFT on
+// exactly the layers where skipping zero taps wins.
 type LayerGeom struct {
-	In     tensor.Shape
-	Kernel tensor.Shape
-	Sp     tensor.Sparsity
-	F      int // input width
-	FPrime int // output width
+	In      tensor.Shape
+	Kernel  tensor.Shape
+	Sp      tensor.Sparsity
+	F       int     // input width
+	FPrime  int     // output width
+	Density float64 // mean kernel nonzero fraction; 0 = unknown (dense)
+}
+
+// TransformShape returns the common FFT shape the spectral methods would
+// use for this layer (exported for the execution planner's byte model).
+func (g LayerGeom) TransformShape() tensor.Shape {
+	return transformShape(g.In, g.Kernel, g.Sp)
+}
+
+// density returns the effective kernel density in (0, 1].
+func (g LayerGeom) density() float64 {
+	if g.Density <= 0 || g.Density > 1 {
+		return 1
+	}
+	return g.Density
 }
 
 // f32FFTCostFactor discounts the modeled FFT cost when the spectral path
@@ -124,7 +143,15 @@ func (a *Autotuner) Choose(g LayerGeom) Method {
 func modelChoice(g LayerGeom, prec Precision) Method {
 	out := g.In.ValidConv(g.Kernel, g.Sp)
 	f, fp := float64(g.F), float64(g.FPrime)
-	direct := 3 * fp * f * float64(out.Volume()) * float64(g.Kernel.Volume())
+	kv := float64(g.Kernel.Volume())
+	ov := float64(out.Volume())
+	direct := 3 * fp * f * ov * kv
+	// Sparse-direct: the forward and backward convolutions scale with the
+	// nonzero tap count (the kernel gradient stays dense — zero taps still
+	// receive gradients), with a small per-tap overhead so a fully dense
+	// kernel keeps plain Direct.
+	taps := math.Max(g.density()*kv, 1)
+	sparse := fp * f * ov * (2*taps*sparseDirectOverhead + kv)
 	m := transformShape(g.In, g.Kernel, g.Sp)
 	nv := float64(m.Volume())
 	hv := float64(fft.PackedVolume(m))
@@ -133,10 +160,14 @@ func modelChoice(g LayerGeom, prec Precision) Method {
 	if prec == PrecF32 {
 		fftCost *= f32FFTCostFactor
 	}
-	if direct <= fftCost {
-		return Direct
+	best, bestCost := Direct, direct
+	if sparse < bestCost {
+		best, bestCost = SparseDirect, sparse
 	}
-	return FFT
+	if fftCost < bestCost {
+		best = FFT
+	}
+	return best
 }
 
 // measureChoice times the primitive operations of both methods on this
@@ -164,10 +195,52 @@ func measureChoice(g LayerGeom, prec Precision) Method {
 	edges := f * fp
 	direct := 3 * edges * tDirect
 	fftTotal := (f+fp)*tFFT + edges*(tFFT+3*tMul+3*tInv+2*tRefl)
-	if direct <= fftTotal {
-		return Direct
+	best, bestCost := Direct, direct
+	// Sparse-direct is only a candidate when the layer's kernels actually
+	// have structural zeros — on a dense layer it is dense Direct plus tap
+	// indirection, and timing noise must not flip the tie.
+	if g.density() < 1 {
+		tSparse := timeSparseDirect(g, img, outShape, rng)
+		// Forward and backward run off the tap list; the kernel gradient
+		// stays on the dense path.
+		if sparse := edges * (2*tSparse + tDirect); sparse < bestCost {
+			best, bestCost = SparseDirect, sparse
+		}
 	}
-	return FFT
+	if fftTotal < bestCost {
+		best = FFT
+	}
+	return best
+}
+
+// timeSparseDirect times one sparse-direct valid convolution with a kernel
+// zeroed down to the layer's density, so the measurement reflects the tap
+// count the real kernels would present.
+func timeSparseDirect(g LayerGeom, img *tensor.Tensor, outShape tensor.Shape, rng *rand.Rand) float64 {
+	ker := sparseKernel(rng, g.Kernel, g.density())
+	tl := NewTapList(ker)
+	return timeOp(func() {
+		out := tensor.New(outShape)
+		ValidSparseDirectInto(out, img, tl, g.Sp)
+	})
+}
+
+// sparseKernel builds a random kernel with approximately the given nonzero
+// density: nnz = max(1, round(density·volume)) taps at distinct positions.
+func sparseKernel(rng *rand.Rand, ks tensor.Shape, density float64) *tensor.Tensor {
+	ker := tensor.New(ks)
+	n := len(ker.Data)
+	nnz := int(math.Round(density * float64(n)))
+	if nnz < 1 {
+		nnz = 1
+	}
+	if nnz > n {
+		nnz = n
+	}
+	for _, i := range rng.Perm(n)[:nnz] {
+		ker.Data[i] = rng.Float64()*2 - 1
+	}
+	return ker
 }
 
 // measureSpectralPrimitives times one packed forward transform, inverse
@@ -208,6 +281,67 @@ func timeSpectral[R tensor.Real, C fft.Complex](g LayerGeom, img *tensor.Tensor,
 	pool.Put(buf)
 	pool.Put(other)
 	return
+}
+
+// ForwardFlops models the cost of one forward (inference) pass of a fully
+// connected layer with the given method and precision, in arbitrary
+// consistent units — the whole-network planner's per-layer cost term.
+// Unlike modelChoice (which totals all three training phases) this counts
+// the forward pass only: f′·f convolutions for the spatial methods; for
+// FFT, f shared image transforms, f′ inverse transforms at the summing
+// nodes and f′·f pointwise products (kernel transforms are memoized across
+// rounds and amortized separately by the planner's fused-K term).
+func ForwardFlops(g LayerGeom, m Method, prec Precision) float64 {
+	out := g.In.ValidConv(g.Kernel, g.Sp)
+	f, fp := float64(g.F), float64(g.FPrime)
+	kv := float64(g.Kernel.Volume())
+	ov := float64(out.Volume())
+	switch m {
+	case Direct:
+		return fp * f * ov * kv
+	case SparseDirect:
+		return fp * f * ov * math.Max(g.density()*kv, 1) * sparseDirectOverhead
+	case FFT, FFTC2C:
+		ms := transformShape(g.In, g.Kernel, g.Sp)
+		nv := float64(ms.Volume())
+		hv := float64(fft.PackedVolume(ms))
+		if m == FFTC2C {
+			hv = nv
+		}
+		cost := 2*FFTConstant*hv*math.Log2(math.Max(nv, 2))*(f+fp) + 6*fp*f*hv
+		if m == FFT && prec == PrecF32 {
+			cost *= f32FFTCostFactor
+		}
+		return cost
+	default:
+		return math.Inf(1)
+	}
+}
+
+// MeasureForwardSeconds times the primitive operations of the method on
+// this machine and returns the estimated seconds of one forward pass of
+// the layer — the TuneMeasure-calibrated counterpart of ForwardFlops.
+func MeasureForwardSeconds(g LayerGeom, m Method, prec Precision) float64 {
+	rng := rand.New(rand.NewSource(12345))
+	img := tensor.RandomUniform(rng, g.In, -1, 1)
+	outShape := g.In.ValidConv(g.Kernel, g.Sp)
+	f, fp := float64(g.F), float64(g.FPrime)
+	switch m {
+	case Direct:
+		ker := tensor.RandomUniform(rng, g.Kernel, -1, 1)
+		t := timeOp(func() {
+			out := tensor.New(outShape)
+			ValidDirectInto(out, img, ker, g.Sp)
+		})
+		return fp * f * t
+	case SparseDirect:
+		return fp * f * timeSparseDirect(g, img, outShape, rng)
+	case FFT:
+		tFFT, tInv, tMul, _ := measureSpectralPrimitives(g, img, prec)
+		return f*tFFT + fp*tInv + fp*f*tMul
+	default:
+		return math.Inf(1)
+	}
 }
 
 // timeOp returns the per-call seconds of f, using enough repetitions to get

@@ -172,3 +172,10 @@ func (c *Counters) Reset() {
 func directConvFlops(out, k tensor.Shape) int64 {
 	return int64(out.Volume()) * int64(k.Volume())
 }
+
+// sparseConvFlops returns the multiply-add count of a sparse-direct
+// convolution: output volume × nonzero tap count — the whole point of the
+// tap-list path is that the counter (like the work) scales with nnz.
+func sparseConvFlops(out tensor.Shape, tl *TapList) int64 {
+	return int64(out.Volume()) * int64(tl.Len())
+}

@@ -1,0 +1,151 @@
+package conv
+
+import (
+	"fmt"
+
+	"znn/internal/tensor"
+)
+
+// sparseDirectOverhead is the cost-model penalty of the tap-list loop over
+// the plain dense loop at equal nonzero count: the indirect tap fetch and
+// the loss of the compiler's fixed-bound inner nest cost a little, so at
+// density 1 the tuner and planner must keep preferring plain Direct. The
+// value only has to break the tie in the right direction; parity of the
+// arithmetic itself is exact (see ValidSparseDirectInto).
+const sparseDirectOverhead = 1.02
+
+// tap is one nonzero kernel coefficient with its kernel-space coordinates.
+type tap struct {
+	w       float64
+	x, y, z int
+}
+
+// TapList is the precomputed nonzero-tap form of a kernel: the sparse-direct
+// path iterates it instead of scanning all k³ coefficients and testing each
+// for zero. Taps are stored in the same (z, y, x)-outer order the dense loop
+// uses, so the floating-point accumulation order — and therefore every
+// output bit — matches ValidDirectInto exactly.
+type TapList struct {
+	ks   tensor.Shape
+	taps []tap
+}
+
+// NewTapList scans the kernel once and records its nonzero taps.
+func NewTapList(ker *tensor.Tensor) *TapList {
+	ks := ker.S
+	tl := &TapList{ks: ks}
+	for kz := 0; kz < ks.Z; kz++ {
+		for ky := 0; ky < ks.Y; ky++ {
+			for kx := 0; kx < ks.X; kx++ {
+				if w := ker.At(kx, ky, kz); w != 0 {
+					tl.taps = append(tl.taps, tap{w: w, x: kx, y: ky, z: kz})
+				}
+			}
+		}
+	}
+	return tl
+}
+
+// Len returns the number of nonzero taps.
+func (tl *TapList) Len() int { return len(tl.taps) }
+
+// KernelShape returns the shape of the kernel the list was built from.
+func (tl *TapList) KernelShape() tensor.Shape { return tl.ks }
+
+// Nnz counts the nonzero coefficients of a kernel.
+func Nnz(ker *tensor.Tensor) int {
+	n := 0
+	for _, w := range ker.Data {
+		if w != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Density returns the nonzero fraction of a kernel in [0, 1].
+func Density(ker *tensor.Tensor) float64 {
+	if len(ker.Data) == 0 {
+		return 1
+	}
+	return float64(Nnz(ker)) / float64(len(ker.Data))
+}
+
+// ValidSparseDirectInto computes the valid sparse convolution like
+// ValidDirectInto, but iterates a precomputed nonzero tap list instead of
+// scanning the dense kernel. Work is proportional to nnz·n′³ rather than
+// k³·n′³, which is the ZNNi sparse-direct primitive: on kernels with many
+// structural zeros (pruned or dilated-by-construction weights) the skipped
+// taps never cost a load or a branch. Output bits match ValidDirectInto
+// exactly — both skip zero taps and add the survivors in the same order.
+func ValidSparseDirectInto(out, img *tensor.Tensor, tl *TapList, sp tensor.Sparsity) {
+	os := img.S.ValidConv(tl.ks, sp)
+	if out.S != os {
+		panic(fmt.Sprintf("conv: output shape %v, want %v", out.S, os))
+	}
+	out.Zero()
+	is, ks := img.S, tl.ks
+	for _, t := range tl.taps {
+		// Image offset for this tap: s·(k−1−a) per axis.
+		ox := sp.X * (ks.X - 1 - t.x)
+		oy := sp.Y * (ks.Y - 1 - t.y)
+		oz := sp.Z * (ks.Z - 1 - t.z)
+		w := t.w
+		for z := 0; z < os.Z; z++ {
+			for y := 0; y < os.Y; y++ {
+				src := img.Data[is.Index(ox, oy+y, oz+z):]
+				dst := out.Data[os.Index(0, y, z):]
+				for x := 0; x < os.X; x++ {
+					dst[x] += w * src[x]
+				}
+			}
+		}
+	}
+}
+
+// ValidSparseDirect is the allocating form of ValidSparseDirectInto, building
+// the tap list on the fly (callers on a hot path should cache the TapList).
+func ValidSparseDirect(img, ker *tensor.Tensor, sp tensor.Sparsity) *tensor.Tensor {
+	checkConvArgs(img, ker, sp)
+	os := img.S.ValidConv(ker.S, sp)
+	if !os.Valid() {
+		panic(fmt.Sprintf("conv: kernel %v (sparsity %v) does not fit in image %v",
+			ker.S, sp, img.S))
+	}
+	out := tensor.New(os)
+	ValidSparseDirectInto(out, img, NewTapList(ker), sp)
+	return out
+}
+
+// FullSparseDirectInto computes the full sparse convolution from a
+// precomputed tap list, the scatter-form counterpart of FullDirectInto with
+// identical output bits.
+func FullSparseDirectInto(out, img *tensor.Tensor, tl *TapList, sp tensor.Sparsity) {
+	os := img.S.FullConv(tl.ks, sp)
+	if out.S != os {
+		panic(fmt.Sprintf("conv: output shape %v, want %v", out.S, os))
+	}
+	out.Zero()
+	is := img.S
+	for _, t := range tl.taps {
+		ox, oy, oz := sp.X*t.x, sp.Y*t.y, sp.Z*t.z
+		w := t.w
+		for z := 0; z < is.Z; z++ {
+			for y := 0; y < is.Y; y++ {
+				src := img.Data[is.Index(0, y, z):]
+				dst := out.Data[os.Index(ox, oy+y, oz+z):]
+				for x := 0; x < is.X; x++ {
+					dst[x] += w * src[x]
+				}
+			}
+		}
+	}
+}
+
+// FullSparseDirect is the allocating form of FullSparseDirectInto.
+func FullSparseDirect(img, ker *tensor.Tensor, sp tensor.Sparsity) *tensor.Tensor {
+	checkConvArgs(img, ker, sp)
+	out := tensor.New(img.S.FullConv(ker.S, sp))
+	FullSparseDirectInto(out, img, NewTapList(ker), sp)
+	return out
+}

@@ -1,0 +1,192 @@
+package conv
+
+import (
+	"math/rand"
+	"testing"
+
+	"znn/internal/tensor"
+)
+
+// sparsify zeroes a random subset of kernel taps, targeting the given
+// density (at least one tap kept nonzero unless density is 0).
+func sparsify(r *rand.Rand, ker *tensor.Tensor, density float64) {
+	n := len(ker.Data)
+	keep := int(density * float64(n))
+	if keep < 1 && density > 0 {
+		keep = 1
+	}
+	perm := r.Perm(n)
+	for _, i := range perm[keep:] {
+		ker.Data[i] = 0
+	}
+}
+
+func TestTapListOrderAndCount(t *testing.T) {
+	ker := tensor.FromSlice(tensor.S3(2, 2, 1), 1, 0, 0, 4)
+	tl := NewTapList(ker)
+	if tl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tl.Len())
+	}
+	if tl.KernelShape() != ker.S {
+		t.Fatalf("KernelShape = %v, want %v", tl.KernelShape(), ker.S)
+	}
+	if Nnz(ker) != 2 {
+		t.Fatalf("Nnz = %d, want 2", Nnz(ker))
+	}
+	if d := Density(ker); d != 0.5 {
+		t.Fatalf("Density = %g, want 0.5", d)
+	}
+}
+
+func TestDensityEmptyKernel(t *testing.T) {
+	if d := Density(&tensor.Tensor{}); d != 1 {
+		t.Fatalf("Density of empty kernel = %g, want 1", d)
+	}
+}
+
+// TestSparseDirectMatchesDirectBitExact checks that the tap-list primitives
+// produce bit-identical outputs to the dense loops on randomized geometry
+// and randomized sparsity — the accumulation order is the same, so the
+// parity is exact equality, not a tolerance.
+func TestSparseDirectMatchesDirectBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	densities := []float64{0, 0.1, 0.25, 0.5, 0.9, 1}
+	for trial := 0; trial < 40; trial++ {
+		img, ker, sp := randGeom(rng)
+		d := densities[trial%len(densities)]
+		if d < 1 {
+			sparsify(rng, ker, d)
+		}
+		sv := ValidSparseDirect(img, ker, sp)
+		dv := ValidDirect(img, ker, sp)
+		for i := range sv.Data {
+			if sv.Data[i] != dv.Data[i] {
+				t.Fatalf("trial %d (density %g): valid output %d = %g, dense %g",
+					trial, d, i, sv.Data[i], dv.Data[i])
+			}
+		}
+		sf := FullSparseDirect(img, ker, sp)
+		df := FullDirect(img, ker, sp)
+		for i := range sf.Data {
+			if sf.Data[i] != df.Data[i] {
+				t.Fatalf("trial %d (density %g): full output %d = %g, dense %g",
+					trial, d, i, sf.Data[i], df.Data[i])
+			}
+		}
+	}
+}
+
+func TestSparseDirectAllZeroKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	img := tensor.RandomUniform(rng, tensor.Cube(6), -1, 1)
+	ker := tensor.New(tensor.Cube(3))
+	if got := NewTapList(ker).Len(); got != 0 {
+		t.Fatalf("all-zero kernel tap count = %d, want 0", got)
+	}
+	out := ValidSparseDirect(img, ker, tensor.Dense())
+	for i, v := range out.Data {
+		if v != 0 {
+			t.Fatalf("output %d = %g, want 0 for all-zero kernel", i, v)
+		}
+	}
+}
+
+// TestTransformerSparseDirectParity runs the full Transformer surface —
+// forward, backward, kernel gradient — with the SparseDirect method against
+// the Direct method on randomized sparsified kernels. Forward and backward
+// must be bit-identical; the kernel gradient stays dense in both (sparse
+// execution is a strategy, not a pruning mask: zero taps can receive
+// nonzero gradients).
+func TestTransformerSparseDirectParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 20; trial++ {
+		img, ker, sp := randGeom(rng)
+		sparsify(rng, ker, 0.4)
+		bwd := tensor.RandomUniform(rng, img.S.ValidConv(ker.S, sp), -1, 1)
+
+		sd := NewTransformer(img.S, ker.S, sp, SparseDirect, false, nil)
+		dd := NewTransformer(img.S, ker.S, sp, Direct, false, nil)
+		if sd.Method() != SparseDirect {
+			t.Fatalf("method = %v, want sparse-direct", sd.Method())
+		}
+
+		fs := sd.Forward(img, ker, nil)
+		fd := dd.Forward(img, ker, nil)
+		for i := range fs.Data {
+			if fs.Data[i] != fd.Data[i] {
+				t.Fatalf("trial %d: forward %d = %g, direct %g", trial, i, fs.Data[i], fd.Data[i])
+			}
+		}
+
+		bs := sd.Backward(bwd, ker, nil)
+		bd := dd.Backward(bwd, ker, nil)
+		for i := range bs.Data {
+			if bs.Data[i] != bd.Data[i] {
+				t.Fatalf("trial %d: backward %d = %g, direct %g", trial, i, bs.Data[i], bd.Data[i])
+			}
+		}
+
+		gs := sd.KernelGrad(img, bwd)
+		gd := KernelGradDirect(img, bwd, ker.S, sp)
+		if d := gs.MaxAbsDiff(gd); d != 0 {
+			t.Fatalf("trial %d: kernel grad differs from dense by %g", trial, d)
+		}
+	}
+}
+
+// TestTransformerSparseDirectKernelInvalidate checks that changing the
+// kernel and invalidating rebuilds the tap list (a stale list would keep
+// convolving with the old taps).
+func TestTransformerSparseDirectKernelInvalidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	img, ker, sp := randGeom(rng)
+	sparsify(rng, ker, 0.5)
+	tr := NewTransformer(img.S, ker.S, sp, SparseDirect, false, nil)
+	_ = tr.Forward(img, ker, nil)
+
+	// New zero pattern: the cached tap list is stale until invalidated.
+	for i := range ker.Data {
+		ker.Data[i] = rng.Float64()*2 - 1
+	}
+	sparsify(rng, ker, 0.5)
+	tr.InvalidateKernel()
+	got := tr.Forward(img, ker, nil)
+	want := ValidDirect(img, ker, sp)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("post-invalidate forward %d = %g, want %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestSetMethodPrecSwitches exercises the compile-time method swap the
+// execution planner relies on: one Transformer retargeted across
+// (method, precision) cells keeps producing correct outputs in each.
+func TestSetMethodPrecSwitches(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	img, ker, sp := randGeom(rng)
+	sparsify(rng, ker, 0.5)
+	want := ValidDirect(img, ker, sp)
+
+	tr := NewTransformer(img.S, ker.S, sp, Direct, false, nil)
+	cells := []struct {
+		m Method
+		p Precision
+	}{
+		{FFT, PrecF64}, {SparseDirect, PrecF64}, {FFT, PrecF32}, {Direct, PrecF64},
+	}
+	for _, c := range cells {
+		tr.SetMethodPrec(c.m, c.p)
+		if tr.Method() != c.m {
+			t.Fatalf("method = %v, want %v", tr.Method(), c.m)
+		}
+		got := tr.Forward(img, ker, nil)
+		tol := c.p.Tol()
+		if !c.m.IsFFT() {
+			tol = 0 // spatial methods are bit-exact vs the dense reference
+		}
+		if d := got.MaxAbsDiff(want); d > tol {
+			t.Fatalf("cell (%v, %v): forward differs from direct by %g (tol %g)", c.m, c.p, d, tol)
+		}
+	}
+}

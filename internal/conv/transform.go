@@ -198,6 +198,13 @@ const (
 	// kept selectable (TuneForceFFTC2C) so packed-vs-full A/B benchmarks
 	// run against live code rather than an old commit. Always complex128.
 	FFTC2C
+	// SparseDirect computes convolutions in the spatial domain from a
+	// precomputed nonzero-tap list (znn3's sparse_convolve): work scales
+	// with the kernel's nonzero count instead of its dense volume, so the
+	// planner can pick it for high-sparsity edges where the dense direct
+	// loop and the padded FFT both charge for taps that contribute nothing.
+	// Output bits match Direct exactly.
+	SparseDirect
 )
 
 func (m Method) String() string {
@@ -208,6 +215,8 @@ func (m Method) String() string {
 		return "fft"
 	case FFTC2C:
 		return "fft-c2c"
+	case SparseDirect:
+		return "sparse-direct"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -249,6 +258,8 @@ type Transformer struct {
 	kerFRefl fft.Spectrum // spectrum of the reflected dilated kernel
 	imgF     fft.Spectrum // memoized forward image spectrum (round-scoped)
 	bwdF     fft.Spectrum // memoized backward gradient spectrum (round-scoped)
+	taps     *TapList     // cached nonzero-tap list (Method SparseDirect)
+	tapsRefl *TapList     // cached reflected tap list (SparseDirect backward)
 }
 
 // NewTransformer builds a float64 transformer for an edge with the given
@@ -280,7 +291,7 @@ func NewTransformerPrec(in, k tensor.Shape, sp tensor.Sparsity, method Method, p
 		cnt:  counters,
 	}
 	switch method {
-	case Direct:
+	case Direct, SparseDirect:
 	case FFT:
 		t.packed = true
 		t.sv = fft.PackedVolume(t.m)
@@ -326,6 +337,47 @@ func (t *Transformer) SetPrecision(p Precision) {
 	t.kerFRefl = fft.Spectrum{}
 	t.imgF = fft.Spectrum{}
 	t.bwdF = fft.Spectrum{}
+}
+
+// SetMethodPrec rebuilds the transformer for a new (method, precision)
+// pair — the execution planner's hook for emitting a whole-network plan
+// into an already-built graph. Every method-dependent derived field is
+// recomputed and every cached artifact whose layout depends on the pair
+// (kernel spectra, memo slots, tap lists) is discarded. Like SetPrecision
+// it is compile-time only: it must not race with any transform phase.
+func (t *Transformer) SetMethodPrec(m Method, p Precision) {
+	if m != FFT {
+		p = PrecF64 // spatial and c2c paths are float64-only
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.mth == m && t.prec == p {
+		return
+	}
+	t.mth = m
+	t.prec = p
+	t.packed = false
+	t.sv = 0
+	t.p3, t.p3r, t.p3r32 = nil, nil, nil
+	switch m {
+	case Direct, SparseDirect:
+	case FFT:
+		t.packed = true
+		t.sv = fft.PackedVolume(t.m)
+		t.initPlans()
+	case FFTC2C:
+		t.p3 = fft.NewPlan3(t.m)
+		t.sv = t.m.Volume()
+	default:
+		panic(fmt.Sprintf("conv: unknown method %v", m))
+	}
+	t.kerValid = false
+	t.kerF = fft.Spectrum{}
+	t.kerFRefl = fft.Spectrum{}
+	t.imgF = fft.Spectrum{}
+	t.bwdF = fft.Spectrum{}
+	t.taps = nil
+	t.tapsRefl = nil
 }
 
 // Method returns the convolution method in use.
@@ -441,11 +493,33 @@ func (t *Transformer) kernelSpectra(ker *tensor.Tensor) (kf, kfr fft.Spectrum) {
 
 // InvalidateKernel marks the cached kernel spectra stale; the update task
 // calls this after changing the weights. The buffers are retained for
-// in-place recomputation.
+// in-place recomputation; tap lists are rebuilt from scratch (the set of
+// nonzero coordinates itself may change).
 func (t *Transformer) InvalidateKernel() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.kerValid = false
+	t.taps = nil
+	t.tapsRefl = nil
+}
+
+// tapsFor returns the (possibly cached) nonzero-tap list of ker, and
+// lazily its reflected counterpart when refl is true. Cached under the
+// same invalidation discipline as the kernel spectra: the update task's
+// InvalidateKernel always runs before the next pass reads the taps.
+func (t *Transformer) tapsFor(ker *tensor.Tensor, refl bool) *TapList {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if refl {
+		if t.tapsRefl == nil {
+			t.tapsRefl = NewTapList(ker.Reflect())
+		}
+		return t.tapsRefl
+	}
+	if t.taps == nil {
+		t.taps = NewTapList(ker)
+	}
+	return t.taps
 }
 
 // Forward computes the edge's forward pass: the valid sparse convolution of
@@ -473,7 +547,9 @@ func (t *Transformer) ForwardInfer(img, ker *tensor.Tensor, sc *SpectrumCache) *
 // ForwardInfer it never touches the memo slots.
 func (t *Transformer) ForwardInferBatch(imgs []*tensor.Tensor, ker *tensor.Tensor, sc *SpectrumCache) []*tensor.Tensor {
 	outs := make([]*tensor.Tensor, len(imgs))
-	if t.mth == Direct {
+	if !t.mth.IsFFT() {
+		// Spatial methods have no spectra to share; SparseDirect still
+		// amortizes its tap list, cached on first use across the K volumes.
 		for i, img := range imgs {
 			outs[i] = t.forward(img, ker, nil, false)
 		}
@@ -544,10 +620,17 @@ func (t *Transformer) forward(img, ker *tensor.Tensor, sc *SpectrumCache, memo b
 	if ker.S != t.k {
 		panic(fmt.Sprintf("conv: kernel %v, want %v", ker.S, t.k))
 	}
-	if t.mth == Direct {
+	switch t.mth {
+	case Direct:
 		out := tensor.New(t.out)
 		ValidDirectInto(out, img, ker, t.sp)
 		t.cnt.addDirect(directConvFlops(t.out, t.k))
+		return out
+	case SparseDirect:
+		tl := t.tapsFor(ker, false)
+		out := tensor.New(t.out)
+		ValidSparseDirectInto(out, img, tl, t.sp)
+		t.cnt.addDirect(sparseConvFlops(t.out, tl))
 		return out
 	}
 	var imgF fft.Spectrum
@@ -579,10 +662,17 @@ func (t *Transformer) Backward(bwd, ker *tensor.Tensor, sc *SpectrumCache) *tens
 	if bwd.S != t.out {
 		panic(fmt.Sprintf("conv: backward image %v, want %v", bwd.S, t.out))
 	}
-	if t.mth == Direct {
+	switch t.mth {
+	case Direct:
 		out := tensor.New(t.in)
 		FullDirectInto(out, bwd, ker.Reflect(), t.sp)
 		t.cnt.addDirect(directConvFlops(t.out, t.k))
+		return out
+	case SparseDirect:
+		tl := t.tapsFor(ker, true)
+		out := tensor.New(t.in)
+		FullSparseDirectInto(out, bwd, tl, t.sp)
+		t.cnt.addDirect(sparseConvFlops(t.out, tl))
 		return out
 	}
 	var bwdF fft.Spectrum
@@ -617,7 +707,10 @@ func (t *Transformer) KernelGrad(img, bwd *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("conv: kernel grad shapes img %v bwd %v, want %v and %v",
 			img.S, bwd.S, t.in, t.out))
 	}
-	if t.mth == Direct {
+	if !t.mth.IsFFT() {
+		// SparseDirect intentionally computes the *dense* gradient: a zero
+		// tap can receive a nonzero gradient — sparse execution is a
+		// strategy for the current weights, not a pruning mask on updates.
 		g := KernelGradDirect(img, bwd, t.k, t.sp)
 		t.cnt.addDirect(directConvFlops(t.out, t.k))
 		return g

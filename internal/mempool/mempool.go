@@ -105,6 +105,18 @@ func classFor(n int) int {
 	return bits.Len(uint(n - 1))
 }
 
+// ClassSize returns the chunk capacity (in elements) that a Get of n
+// elements actually reserves: n rounded up to the next power of two. The
+// execution planner's byte model uses it so estimated footprints account
+// for the same rounding the allocator applies — LiveBytes moves in class
+// capacities, not request lengths.
+func ClassSize(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return 1 << classFor(n)
+}
+
 // elemBytes returns the size of one element of type T.
 func elemBytes[T Element]() int64 {
 	var z T

@@ -97,6 +97,27 @@ type Network struct {
 	transferLayers [][]*graph.TransferOp
 	// Methods chosen by the autotuner per conv layer.
 	LayerMethods []conv.Method
+	// layerGeoms[i] is the i-th conv layer's tuning geometry as built
+	// (Density unset; LayerGeoms fills it from the live kernels).
+	layerGeoms []conv.LayerGeom
+}
+
+// LayerGeoms returns one LayerGeom per conv layer in execution order, with
+// Density recomputed from the current kernels (mean nonzero fraction over
+// the layer's edges) — the execution planner's view of the network.
+func (nw *Network) LayerGeoms() []conv.LayerGeom {
+	out := make([]conv.LayerGeom, len(nw.layerGeoms))
+	for i, g := range nw.layerGeoms {
+		var d float64
+		for _, op := range nw.convLayers[i] {
+			d += conv.Density(op.Kernel)
+		}
+		if n := len(nw.convLayers[i]); n > 0 {
+			g.Density = d / float64(n)
+		}
+		out[i] = g
+	}
+	return out
 }
 
 // Build constructs the network graph for a spec.
@@ -152,6 +173,7 @@ func Build(spec Spec, o BuildOptions) (*Network, error) {
 			geom := conv.LayerGeom{In: shape, Kernel: k, Sp: sp, F: len(cur), FPrime: width}
 			method := o.Tuner.Choose(geom)
 			nw.LayerMethods = append(nw.LayerMethods, method)
+			nw.layerGeoms = append(nw.layerGeoms, geom)
 			outShape := shape.ValidConv(k, sp)
 			if !outShape.Valid() {
 				return nil, fmt.Errorf("net: layer %d: kernel %v (sparsity %v) does not fit image %v",

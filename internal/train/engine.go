@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"znn/internal/graph"
+	"znn/internal/plan"
 	"znn/internal/sched"
 	"znn/internal/tensor"
 )
@@ -39,6 +40,10 @@ func (en *Engine) Program() *Program { return en.p }
 
 // Workers returns the number of scheduler workers.
 func (en *Engine) Workers() int { return en.p.cfg.Workers }
+
+// Plan returns the execution plan the engine's program was compiled from,
+// or nil when edges run their individually autotuned methods.
+func (en *Engine) Plan() *plan.Plan { return en.p.cfg.Plan }
 
 // NumInputs returns the number of graph input nodes (volumes per round).
 func (en *Engine) NumInputs() int { return len(en.p.inputs) }

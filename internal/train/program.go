@@ -37,6 +37,7 @@ import (
 	"znn/internal/conv"
 	"znn/internal/graph"
 	"znn/internal/ops"
+	"znn/internal/plan"
 	"znn/internal/sched"
 	"znn/internal/tensor"
 )
@@ -65,6 +66,13 @@ type Config struct {
 	// transformers before any round runs, so one built network trains at
 	// whichever precision the config asks for.
 	Precision conv.Precision
+	// Plan, when non-nil, is a whole-network execution plan: Compile
+	// resolves every convolution edge's layer geometry against it and
+	// rebuilds the edge's transformer to the planned (method, precision)
+	// instead of applying the global Precision. Edges whose geometry the
+	// plan does not cover fall back to the global Precision. The plan's
+	// fused width K is advisory to round builders (see Engine.Plan).
+	Plan *plan.Plan
 	// DisableSpectral turns off spectral accumulation. By default, when
 	// every edge converging on a node is an FFT convolution with identical
 	// geometry, the edges sum their FFT-domain products and the node runs
@@ -175,16 +183,35 @@ func Compile(g *graph.Graph, cfg Config) (*Program, error) {
 			}
 		}
 	}
-	// Apply the program's precision to every FFT conv edge before the
-	// spectral-eligibility analysis below: precision is part of
-	// SpectralCompatible, so it must be settled first. The config is
-	// authoritative — compiling a graph previously used at another
-	// precision resets its edges, so a default-precision program is always
-	// the bit-compatible float64 one.
+	// Apply the program's execution plan — or, absent one, the global
+	// precision — to every conv edge before the spectral-eligibility
+	// analysis below: method and precision are part of SpectralCompatible,
+	// so they must be settled first. The config is authoritative for
+	// precision — compiling a graph previously used at another precision
+	// resets its edges, so a default-precision program is always the
+	// bit-compatible float64 one. Plan assignments are per layer group
+	// (keyed by the edge-derivable layer geometry), so every in-edge of a
+	// summing node receives the same (method, precision) and spectral
+	// accumulation stays available on planned FFT layers.
 	for _, e := range g.Edges {
-		if op, ok := e.Op.(*graph.ConvOp); ok {
-			op.Tr.SetPrecision(cfg.Precision)
+		op, ok := e.Op.(*graph.ConvOp)
+		if !ok {
+			continue
 		}
+		if cfg.Plan != nil {
+			geom := conv.LayerGeom{
+				In:     op.Tr.InShape(),
+				Kernel: op.Kernel.S,
+				Sp:     op.Sp,
+				F:      len(e.To.In),
+				FPrime: len(e.From.Out),
+			}
+			if a, found := cfg.Plan.Lookup(geom); found {
+				op.Tr.SetMethodPrec(a.Method, a.Precision)
+				continue
+			}
+		}
+		op.Tr.SetPrecision(cfg.Precision)
 	}
 	g.ComputePriorities()
 	p := &Program{
@@ -216,6 +243,10 @@ func Compile(g *graph.Graph, cfg Config) (*Program, error) {
 
 // Workers returns the number of scheduler workers.
 func (p *Program) Workers() int { return p.cfg.Workers }
+
+// Plan returns the execution plan the program was compiled from, or nil
+// when the edges run their individually autotuned methods.
+func (p *Program) Plan() *plan.Plan { return p.cfg.Plan }
 
 // Scheduler returns the program's shared scheduler (stats, draining).
 func (p *Program) Scheduler() *sched.Engine { return p.sch }

@@ -23,11 +23,13 @@ package znn
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"znn/internal/conv"
 	"znn/internal/net"
 	"znn/internal/ops"
+	"znn/internal/plan"
 	"znn/internal/sched"
 	"znn/internal/tensor"
 	"znn/internal/train"
@@ -131,6 +133,20 @@ type Config struct {
 	// choosing direct vs FFT per layer. Weights and images stay float64;
 	// only the transform-domain work changes precision.
 	Float32 bool
+	// Planned enables the whole-network execution planner: instead of
+	// tuning each conv layer in isolation, the network is compiled from a
+	// plan that picks (method, precision) per layer and a fused batch
+	// width K to maximize modeled throughput — under MemBudget when one
+	// is set. MemBudget > 0 implies Planned.
+	Planned bool
+	// MemBudget bounds the plan's estimated pooled spectrum bytes for one
+	// fused inference round (see internal/plan for the exact semantics);
+	// 0 means unconstrained.
+	MemBudget int64
+	// PlanMaxK caps the planner's fused batch width (default 8). Serving
+	// front ends should set it to their maximum batch size so the plan's
+	// footprint estimate covers the widest round they will run.
+	PlanMaxK int
 }
 
 func (c Config) tuner() *conv.Autotuner {
@@ -159,6 +175,7 @@ type Network struct {
 	nw   *net.Network
 	en   *train.Engine
 	cfg  Config
+	pl   *plan.Plan // non-nil when compiled from an execution plan
 }
 
 // NewNetwork parses the spec and builds a trainable network.
@@ -192,6 +209,27 @@ func NewNetwork(spec string, cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	var pl *plan.Plan
+	if cfg.Planned || cfg.MemBudget > 0 {
+		workers := cfg.Workers
+		if workers < 1 {
+			workers = runtime.NumCPU()
+		}
+		var precs []conv.Precision
+		if cfg.Float32 {
+			precs = []conv.Precision{conv.PrecF32}
+		}
+		pl, err = plan.Build(nw.LayerGeoms(), plan.Config{
+			Budget:     cfg.MemBudget,
+			MaxK:       cfg.PlanMaxK,
+			Measured:   cfg.Conv == AutotuneMeasured,
+			Precisions: precs,
+			Workers:    workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	en, err := train.NewEngine(nw.G, train.Config{
 		Workers:         cfg.Workers,
 		Policy:          cfg.Policy,
@@ -200,11 +238,12 @@ func NewNetwork(spec string, cfg Config) (*Network, error) {
 		Momentum:        cfg.Momentum,
 		Precision:       cfg.precision(),
 		DisableSpectral: cfg.DisableSpectral,
+		Plan:            pl,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Network{spec: parsed, nw: nw, en: en, cfg: cfg}, nil
+	return &Network{spec: parsed, nw: nw, en: en, cfg: cfg, pl: pl}, nil
 }
 
 // InputShape returns the shape training inputs must have.
@@ -228,15 +267,31 @@ func (n *Network) Spec() string { return n.spec.String() }
 // FieldOfView returns the input extent that influences one output voxel.
 func (n *Network) FieldOfView() int { return n.spec.FieldOfView() }
 
-// LayerMethods reports the autotuner's per-conv-layer choice ("direct" or
-// "fft").
+// LayerMethods reports the per-conv-layer convolution method in use: the
+// plan's assignment when the network was compiled from an execution plan,
+// the autotuner's choice otherwise.
 func (n *Network) LayerMethods() []string {
+	if n.pl != nil {
+		out := make([]string, 0, len(n.nw.LayerMethods))
+		for _, g := range n.nw.LayerGeoms() {
+			if a, ok := n.pl.Lookup(g); ok {
+				out = append(out, a.Method.String())
+			}
+		}
+		if len(out) == len(n.nw.LayerMethods) {
+			return out
+		}
+	}
 	out := make([]string, len(n.nw.LayerMethods))
 	for i, m := range n.nw.LayerMethods {
 		out[i] = m.String()
 	}
 	return out
 }
+
+// Plan returns the execution plan the network was compiled from, or nil
+// when layers run their individually autotuned methods.
+func (n *Network) Plan() *plan.Plan { return n.pl }
 
 // Train runs one gradient iteration on a single-input single-output
 // network and returns the loss.
