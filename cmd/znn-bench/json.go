@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -46,7 +47,9 @@ type benchFile struct {
 // jsonBenchmarks runs the curated core suite — the packed transform at
 // small/large and odd/even shapes, both precisions, and the spectral
 // training round A/B — and writes BENCH_<date>.json in the current
-// directory.
+// directory. When cfg.rows is non-empty only rows whose name starts with
+// that prefix run; the results merge into an existing same-day file
+// instead of replacing it, so partial reruns are additive.
 func jsonBenchmarks(cfg config) {
 	header("machine-readable core benchmarks")
 	out := benchFile{
@@ -59,6 +62,9 @@ func jsonBenchmarks(cfg config) {
 	// single sample on a shared host is too noisy for a trajectory meant
 	// to be diffed across PRs.
 	add := func(name, shape string, workers int, fn func(b *testing.B)) {
+		if cfg.rows != "" && !strings.HasPrefix(name, cfg.rows) {
+			return
+		}
 		const runs = 3
 		ns := make([]int64, 0, runs)
 		bs := make([]int64, 0, runs)
@@ -164,6 +170,19 @@ func jsonBenchmarks(cfg config) {
 		benchsuite.InferFused(b, inferWorkers, 8, true)
 	})
 
+	// Pipelined-training A/B: strict round-by-round training vs the
+	// overlapped StartPipeline session (prefetched data, one round
+	// submitted ahead, per-edge update fencing), same worker count both
+	// rows. ns_op is one whole training round; like the other speedup
+	// rows the ratio is bounded by the machine's core count, so a 1-vCPU
+	// host records parity and the ≥1.15× acceptance shape needs ≥4 cores.
+	add("train-pipeline/strict", "16x16x16", inferWorkers, func(b *testing.B) {
+		benchsuite.TrainPipeline(b, inferWorkers, false)
+	})
+	add("train-pipeline/pipelined", "16x16x16", inferWorkers, func(b *testing.B) {
+		benchsuite.TrainPipeline(b, inferWorkers, true)
+	})
+
 	// Execution-planner A/B on the mixed-method benchmark net (direct 5³
 	// layer + FFT 7³ layer): the planned network against both global
 	// forcings, each row one fused round (ns_op is per round; vols/s =
@@ -189,6 +208,18 @@ func jsonBenchmarks(cfg config) {
 	}
 
 	name := fmt.Sprintf("BENCH_%s.json", out.Date)
+	// Merge into an existing same-day file instead of clobbering it: a rerun
+	// that produced only a subset of rows (a -rows filter, or an older binary
+	// that lacks today's newest rows) used to silently drop every row it
+	// didn't regenerate from the trajectory file.
+	if prev, err := os.ReadFile(name); err == nil {
+		var old benchFile
+		if err := json.Unmarshal(prev, &old); err != nil {
+			fmt.Fprintf(os.Stderr, "existing %s is unreadable (%v); refusing to merge over it\n", name, err)
+			os.Exit(1)
+		}
+		out.Results = mergeResults(old.Results, out.Results)
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
@@ -200,4 +231,27 @@ func jsonBenchmarks(cfg config) {
 		os.Exit(1)
 	}
 	fmt.Printf("\nwrote %s (%d results)\n", name, len(out.Results))
+}
+
+// mergeResults overlays fresh rows onto a previous same-day result set.
+// The row key is (name, shape) — the fft3r family reuses one name across
+// its shape sweep — and a rerun row replaces the old one in place (file
+// order stays stable, so the JSON diffs cleanly), rows the rerun didn't
+// produce survive untouched, and brand-new rows append in their run order.
+func mergeResults(old, fresh []benchRecord) []benchRecord {
+	key := func(r benchRecord) string { return r.Name + "|" + r.Shape }
+	merged := append([]benchRecord(nil), old...)
+	idx := make(map[string]int, len(merged))
+	for i, r := range merged {
+		idx[key(r)] = i
+	}
+	for _, r := range fresh {
+		if i, ok := idx[key(r)]; ok {
+			merged[i] = r
+		} else {
+			idx[key(r)] = len(merged)
+			merged = append(merged, r)
+		}
+	}
+	return merged
 }

@@ -1,0 +1,67 @@
+package main
+
+import "testing"
+
+// TestMergeResults pins the BENCH_<date>.json merge semantics a partial
+// rerun (-rows) depends on: rerun rows replace the old row of the same
+// (name, shape) IN PLACE (stable file order → clean diffs), rows the
+// rerun didn't produce survive, and new rows append. Shape is part of the
+// key because the fft3r family reuses one name across its shape sweep —
+// those rows must never collapse into one.
+func TestMergeResults(t *testing.T) {
+	old := []benchRecord{
+		{Name: "fft3r/f64", Shape: "15x15x15", NsOp: 90},
+		{Name: "fft3r/f64", Shape: "16x16x16", NsOp: 100},
+		{Name: "train-pipeline/strict", Shape: "16x16x16", NsOp: 200, Workers: 4},
+		{Name: "plan/planned", Shape: "34x34x34", NsOp: 300},
+	}
+	fresh := []benchRecord{
+		{Name: "fft3r/f64", Shape: "16x16x16", NsOp: 110},
+		{Name: "train-pipeline/strict", Shape: "16x16x16", NsOp: 250, Workers: 8},
+		{Name: "train-pipeline/pipelined", Shape: "16x16x16", NsOp: 180, Workers: 8},
+	}
+	got := mergeResults(old, fresh)
+
+	wantNames := []string{"fft3r/f64", "fft3r/f64", "train-pipeline/strict", "plan/planned", "train-pipeline/pipelined"}
+	if len(got) != len(wantNames) {
+		t.Fatalf("merged %d rows, want %d: %+v", len(got), len(wantNames), got)
+	}
+	for i, name := range wantNames {
+		if got[i].Name != name {
+			t.Errorf("row %d is %q, want %q (merge must keep old file order)", i, got[i].Name, name)
+		}
+	}
+	if got[2].NsOp != 250 || got[2].Workers != 8 {
+		t.Errorf("rerun row not overwritten: %+v", got[2])
+	}
+	if got[0].NsOp != 90 {
+		t.Errorf("unrerun shape-sibling row mutated: %+v", got[0])
+	}
+	if got[1].NsOp != 110 {
+		t.Errorf("rerun shape-sibling row not overwritten: %+v", got[1])
+	}
+	if got[4].NsOp != 180 {
+		t.Errorf("appended row wrong: %+v", got[4])
+	}
+
+	// A rerun of everything (no filter) over an empty previous set is the
+	// common full-run path: merge must be the identity on fresh.
+	if all := mergeResults(nil, fresh); len(all) != len(fresh) || all[0].Name != fresh[0].Name {
+		t.Errorf("merge into empty set broken: %+v", all)
+	}
+}
+
+// TestMergeResultsDuplicateOldNames guards the degenerate input of a
+// hand-edited file with duplicate row names: the LAST old occurrence wins
+// the index, so a rerun overwrites that one and never fans out into extra
+// rows.
+func TestMergeResultsDuplicateOldNames(t *testing.T) {
+	old := []benchRecord{
+		{Name: "dup", NsOp: 1},
+		{Name: "dup", NsOp: 2},
+	}
+	got := mergeResults(old, []benchRecord{{Name: "dup", NsOp: 3}})
+	if len(got) != 2 || got[1].NsOp != 3 || got[0].NsOp != 1 {
+		t.Fatalf("duplicate-name merge wrong: %+v", got)
+	}
+}

@@ -38,6 +38,7 @@ type config struct {
 	paperScale bool
 	rounds     int // timed rounds per measurement
 	warmup     int
+	rows       string // -json row-name prefix filter; "" runs every row
 }
 
 func main() {
@@ -47,6 +48,8 @@ func main() {
 	rounds := flag.Int("rounds", 0, "timed rounds per point (0 = default per experiment)")
 	jsonOut := flag.Bool("json", false,
 		"run the core benchmark suite and write machine-readable results to BENCH_<date>.json")
+	rows := flag.String("rows", "",
+		"with -json, only run rows whose name starts with this prefix; results merge into an existing same-day BENCH file")
 	loadgenAddr := flag.String("loadgen", "", "drive a running znn-serve at this base URL instead of in-process benchmarks")
 	duration := flag.Duration("duration", 10*time.Second, "loadgen run length")
 	clients := flag.Int("clients", 2*runtime.NumCPU(), "loadgen concurrent request loops")
@@ -58,7 +61,7 @@ func main() {
 	if *workers < 1 {
 		*workers = runtime.NumCPU()
 	}
-	cfg := config{workers: *workers, paperScale: *paperScale, rounds: *rounds, warmup: 2}
+	cfg := config{workers: *workers, paperScale: *paperScale, rounds: *rounds, warmup: 2, rows: *rows}
 
 	if *loadgenAddr != "" {
 		if err := loadgen(loadgenConfig{

@@ -7,12 +7,23 @@
 //	          [-workers N] [-rounds 200] [-eta 0.5] [-momentum 0.9]
 //	          [-loss mean-bce] [-data boundary|texture|random]
 //	          [-conv auto|direct|fft] [-memoize] [-sliding]
+//	          [-pipeline] [-strict]
 //	          [-checkpoint file] [-resume file]
 //
 // -checkpoint writes crash-safely (temp file + fsync + atomic rename), so a
 // kill mid-save leaves the previous checkpoint intact. -resume restores a
 // checkpoint and continues training it (spec/width flags are then ignored —
 // the network geometry comes from the file).
+//
+// -pipeline overlaps training rounds: sample N+1 is generated on a
+// background goroutine while round N computes, and round N+1's forward
+// work is admitted edge by edge as round N's backward work drains (the
+// per-edge fencing of internal/train). -strict forces today's
+// round-by-round semantics even when -pipeline is given; strict is also
+// the default. Every round logs its phase split — data_ms (blocked
+// fetching the sample), compute_ms (blocked in the round), drain_ms
+// (blocked applying the update tail) — so the pipeline's overlap is
+// observable per round, not just inferred from totals.
 package main
 
 import (
@@ -43,6 +54,8 @@ func main() {
 	planned := flag.Bool("plan", false, "compile from a whole-network execution plan (per-layer method/precision under -mem-budget)")
 	memBudget := flag.Int64("mem-budget", 0, "pooled spectrum byte budget for the execution plan (0 = unconstrained; implies -plan)")
 	planMaxK := flag.Int("plan-max-k", 0, "planner's fused batch width cap (0 = default)")
+	pipeline := flag.Bool("pipeline", false, "overlap training rounds (prefetched data + per-edge update fencing)")
+	strict := flag.Bool("strict", false, "force strict round-by-round training (overrides -pipeline)")
 	sliding := flag.Bool("sliding", true, "convert pooling to sliding-window filtering")
 	checkpoint := flag.String("checkpoint", "", "write a checkpoint here when done (crash-safe: temp file + rename)")
 	resume := flag.String("resume", "", "resume training from this checkpoint (overrides -spec/-width/-out/-dims/-f32)")
@@ -124,24 +137,109 @@ func main() {
 		log.Fatalf("unknown dataset %q", *dataset)
 	}
 
+	pipelined := *pipeline && !*strict
+	nw.SetPipeline(pipelined)
+	mode := "strict"
+	if pipelined {
+		mode = "pipelined"
+	}
+	fmt.Printf("training mode: %s\n", mode)
+
+	// The prefetcher generates sample N+1 on a background goroutine while
+	// round N computes; the provider is called sequentially from that one
+	// goroutine, so the sample sequence is identical to the bare provider's
+	// in both modes.
+	pf := data.NewPrefetcher(provider, 2)
+	defer pf.Close()
+
+	ms := func(d time.Duration) float64 { return d.Seconds() * 1000 }
 	start := time.Now()
 	var loss float64
+	var totData, totCompute, totDrain float64
 	every := max(1, *rounds/10)
+	logRound := func(round int, loss, dataMs, computeMs, drainMs float64) {
+		if round != 1 && round%every != 0 {
+			return
+		}
+		el := time.Since(start)
+		fmt.Printf("round %5d  loss %.6f  (%.1f ms/update, data_ms %.1f compute_ms %.1f drain_ms %.1f)\n",
+			round, loss, el.Seconds()*1000/float64(round), dataMs, computeMs, drainMs)
+	}
+
+	tp := nw.TrainStart()
+	var prev *znn.PendingRound // pipelined: the one round submitted ahead
+	var prevRound int
+	var prevData float64
 	for round := 1; round <= *rounds; round++ {
-		s := provider.Next()
-		loss, err = nw.Train(s.Input, s.Desired[0])
+		t0 := time.Now()
+		s := pf.Next()
+		dataMs := ms(time.Since(t0))
+		totData += dataMs
+
+		t1 := time.Now()
+		pr, err := tp.Submit([]*znn.Tensor{s.Input}, []*znn.Tensor{s.Desired[0]})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if round == 1 || round%every == 0 {
-			el := time.Since(start)
-			fmt.Printf("round %5d  loss %.6f  (%.1f ms/update)\n",
-				round, loss, el.Seconds()*1000/float64(round))
+		if !pipelined {
+			// Strict: the round ran to completion inside Submit. Drain its
+			// update tail explicitly (it is otherwise forced lazily by the
+			// next round's forward pass) so the tail the pipeline hides is
+			// measured, not folded into the next round's compute.
+			computeMs := ms(time.Since(t1))
+			totCompute += computeMs
+			loss, err = pr.Wait()
+			if err != nil {
+				log.Fatal(err)
+			}
+			t2 := time.Now()
+			if err := nw.Drain(); err != nil {
+				log.Fatal(err)
+			}
+			drainMs := ms(time.Since(t2))
+			totDrain += drainMs
+			logRound(round, loss, dataMs, computeMs, drainMs)
+			continue
 		}
+		// Pipelined: wait the previous round while this one is in flight;
+		// compute_ms is the time the loop actually blocked on it.
+		if prev != nil {
+			t2 := time.Now()
+			loss, err = prev.Wait()
+			if err != nil {
+				log.Fatal(err)
+			}
+			computeMs := ms(time.Since(t2))
+			totCompute += computeMs
+			logRound(prevRound, loss, prevData, computeMs, 0)
+		}
+		prev, prevRound, prevData = pr, round, dataMs
 	}
+	if prev != nil {
+		t2 := time.Now()
+		loss, err = prev.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		computeMs := ms(time.Since(t2))
+		totCompute += computeMs
+		logRound(prevRound, loss, prevData, computeMs, 0)
+	}
+	if err := tp.Close(); err != nil {
+		log.Fatal(err)
+	}
+	t3 := time.Now()
+	if err := nw.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	totDrain += ms(time.Since(t3))
+
 	el := time.Since(start)
+	n := float64(*rounds)
 	fmt.Printf("\ntrained %d rounds in %v (%.1f ms/update, final loss %.6f)\n",
-		*rounds, el.Round(time.Millisecond), el.Seconds()*1000/float64(*rounds), loss)
+		*rounds, el.Round(time.Millisecond), el.Seconds()*1000/n, loss)
+	fmt.Printf("phase totals (%s): data_ms %.1f  compute_ms %.1f  drain_ms %.1f  (per round %.2f/%.2f/%.2f)\n",
+		mode, totData, totCompute, totDrain, totData/n, totCompute/n, totDrain/n)
 	st := nw.Stats()
 	fmt.Printf("scheduler: %d tasks, forced updates inline/stolen/attached = %d/%d/%d\n",
 		st.Executed, st.ForcedInline, st.ForcedClaimed, st.ForcedAttached)

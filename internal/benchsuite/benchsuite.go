@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"znn/internal/conv"
+	"znn/internal/data"
 	"znn/internal/fft"
 	"znn/internal/mempool"
 	"znn/internal/net"
@@ -208,6 +209,65 @@ func InferFused(b *testing.B, workers, k int, fused bool) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*k)/b.Elapsed().Seconds(), "vols/s")
+}
+
+// TrainPipeline measures whole training rounds through a StartPipeline
+// session — the strict/pipelined A/B behind the train-pipeline/* BENCH
+// rows. Both modes share one loop shape: the prefetcher generates sample
+// N+1 on a background goroutine while round N computes, one round is
+// submitted ahead, and the loop blocks on the previous round's Wait. In
+// strict mode Submit is synchronous (Engine.Round semantics), so the loop
+// degenerates to round-by-round training and the row is the pre-pipeline
+// baseline; in pipelined mode round N+1's forward work is admitted edge by
+// edge as round N's backward fences release, overlapping N's backward tail
+// and lazy update drain with N+1's forward head. The ratio is bounded by
+// the machine's core count — on a 1-vCPU host the two rows read parity.
+func TrainPipeline(b *testing.B, workers int, pipelined bool) {
+	nw, err := net.Build(net.MustParse("C5-Ttanh-C3"), net.BuildOptions{
+		Width: 2, InputExtent: 16,
+		Tuner: &conv.Autotuner{Policy: conv.TuneForceFFT},
+		Seed:  29,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	en, err := train.NewEngine(nw.G, train.Config{Workers: workers, Eta: 1e-4, Pipeline: pipelined})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer en.Close()
+	pf := data.NewPrefetcher(data.NewRandomProvider(nw.InputShape(), nw.OutputShape(), 1, 30), 2)
+	defer pf.Close()
+	// Warm kernel spectra and pools outside the timed region.
+	s := pf.Next()
+	if _, err := en.Round([]*tensor.Tensor{s.Input}, []*tensor.Tensor{s.Desired[0]}); err != nil {
+		b.Fatal(err)
+	}
+	tp := en.StartPipeline()
+	var prev *train.PendingRound
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := pf.Next()
+		pr, err := tp.Submit([]*tensor.Tensor{s.Input}, []*tensor.Tensor{s.Desired[0]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if prev != nil {
+			if _, err := prev.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		prev = pr
+	}
+	if prev != nil {
+		if _, err := prev.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := tp.Close(); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // planNet builds the execution-planner benchmark network: C5-Ttanh-C7,

@@ -33,3 +33,18 @@ func BenchmarkInferFused(b *testing.B) {
 	b.Run("Independent8", func(b *testing.B) { InferFused(b, workers, 8, false) })
 	b.Run("Fused8", func(b *testing.B) { InferFused(b, workers, 8, true) })
 }
+
+// BenchmarkTrainPipeline pairs strict round-by-round training against the
+// pipelined session at the same worker count — the same A/B the
+// train-pipeline/* BENCH rows record. With ≥4 workers the pipelined side
+// should win (round N's backward tail and update drain overlap round
+// N+1's forward head); a 1-core host measures ≈ parity, core-count-bound
+// like every other speedup experiment in this repo.
+func BenchmarkTrainPipeline(b *testing.B) {
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	b.Run("Strict", func(b *testing.B) { TrainPipeline(b, workers, false) })
+	b.Run("Pipelined", func(b *testing.B) { TrainPipeline(b, workers, true) })
+}

@@ -333,6 +333,8 @@ func (t *Transformer) SetPrecision(p Precision) {
 	t.prec = p
 	t.initPlans()
 	t.kerValid = false
+	t.kerF.Release()
+	t.kerFRefl.Release()
 	t.kerF = fft.Spectrum{}
 	t.kerFRefl = fft.Spectrum{}
 	t.imgF = fft.Spectrum{}
@@ -372,6 +374,8 @@ func (t *Transformer) SetMethodPrec(m Method, p Precision) {
 		panic(fmt.Sprintf("conv: unknown method %v", m))
 	}
 	t.kerValid = false
+	t.kerF.Release()
+	t.kerFRefl.Release()
 	t.kerF = fft.Spectrum{}
 	t.kerFRefl = fft.Spectrum{}
 	t.imgF = fft.Spectrum{}
@@ -419,9 +423,9 @@ func (t *Transformer) specInto(buf fft.Spectrum, src *tensor.Tensor) {
 	t.cnt.addFFT(t.m, t.packed, t.prec == PrecF32)
 }
 
-// newSpec allocates a GC-managed spectrum buffer (memo slots and kernel
-// spectra live across round boundaries, so they bypass the pool — see
-// SpectrumCache) and fills it with the forward spectrum of src.
+// newSpec allocates a GC-managed spectrum buffer (memo slots live across
+// round boundaries with no single release point, so they bypass the pool —
+// see SpectrumCache) and fills it with the forward spectrum of src.
 func (t *Transformer) newSpec(src *tensor.Tensor) fft.Spectrum {
 	var buf fft.Spectrum
 	if t.prec == PrecF32 {
@@ -475,12 +479,17 @@ func (t *Transformer) kernelSpectra(ker *tensor.Tensor) (kf, kfr fft.Spectrum) {
 	defer t.mu.Unlock()
 	if !t.kerValid {
 		if t.kerF.IsNil() {
+			// Pool-backed so PeakLiveBytes covers the kernel-spectra
+			// working set (the plan byte model's 2·f·f′ term). The
+			// buffers stay checked out across rounds — recomputed in
+			// place on invalidation — and return to the pool only when
+			// the layout changes or the engine closes.
 			if t.prec == PrecF32 {
-				t.kerF = fft.Spec64(make([]complex64, t.sv))
-				t.kerFRefl = fft.Spec64(make([]complex64, t.sv))
+				t.kerF = fft.Spec64(mempool.Spectra32.Get(t.sv))
+				t.kerFRefl = fft.Spec64(mempool.Spectra32.Get(t.sv))
 			} else {
-				t.kerF = fft.Spec128(make([]complex128, t.sv))
-				t.kerFRefl = fft.Spec128(make([]complex128, t.sv))
+				t.kerF = fft.Spec128(mempool.Spectra.Get(t.sv))
+				t.kerFRefl = fft.Spec128(mempool.Spectra.Get(t.sv))
 			}
 		}
 		d := ker.Dilate(t.sp)
@@ -489,6 +498,22 @@ func (t *Transformer) kernelSpectra(ker *tensor.Tensor) (kf, kfr fft.Spectrum) {
 		t.kerValid = true
 	}
 	return t.kerF, t.kerFRefl
+}
+
+// ReleaseKernelSpectra returns the pooled kernel-spectra buffers and marks
+// them stale. The engine calls it on Close so a dead engine's transformers
+// do not inflate the pools' live-byte baseline (one live engine per graph
+// is the documented rule, so the next Compile/round recomputes from
+// scratch). Safe to call repeatedly; a transformer that never computed
+// spectra releases nothing.
+func (t *Transformer) ReleaseKernelSpectra() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.kerValid = false
+	t.kerF.Release()
+	t.kerFRefl.Release()
+	t.kerF = fft.Spectrum{}
+	t.kerFRefl = fft.Spectrum{}
 }
 
 // InvalidateKernel marks the cached kernel spectra stale; the update task

@@ -1,0 +1,88 @@
+package data
+
+import "sync"
+
+// Prefetcher overlaps sample generation with training compute: a single
+// background goroutine calls the wrapped Provider and parks the results in
+// a buffered channel, so round N+1's sample is generated/augmented while
+// round N's task tree still occupies the scheduler. The provider is only
+// ever called from that one goroutine, sequentially, so the sample
+// *sequence* is exactly what the bare provider would emit — prefetching
+// changes when samples are generated, never which samples (the determinism
+// contract the pipelined-training tests assert).
+//
+// Depth is the channel capacity: depth 1 is classic double buffering (one
+// sample ready while one trains); deeper queues absorb burstier providers.
+// The goroutine blocks once the queue is full, so at most depth+1 samples
+// ever exist ahead of the consumer.
+type Prefetcher struct {
+	ch     chan Sample
+	stop   chan struct{}
+	done   chan struct{}
+	closed sync.Once
+}
+
+// NewPrefetcher starts the background generator over p. depth < 1 is
+// raised to 1 (a Prefetcher that prefetches nothing would be the bare
+// provider with extra steps).
+func NewPrefetcher(p Provider, depth int) *Prefetcher {
+	if depth < 1 {
+		depth = 1
+	}
+	pf := &Prefetcher{
+		ch:   make(chan Sample, depth),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go pf.loop(p)
+	return pf
+}
+
+func (pf *Prefetcher) loop(p Provider) {
+	defer close(pf.done)
+	for {
+		// Generate first, then offer: a Close while blocked on the full
+		// channel discards the in-hand sample and exits.
+		s := p.Next()
+		select {
+		case pf.ch <- s:
+		case <-pf.stop:
+			return
+		}
+	}
+}
+
+// Next returns the next sample in provider order, blocking until the
+// background goroutine has one ready (a well-paced pipeline never blocks
+// here — that wait is the data_ms the round log reports). Next must not be
+// called after Close.
+func (pf *Prefetcher) Next() Sample { return <-pf.ch }
+
+// Close stops the background goroutine and drains any queued samples. It
+// is idempotent, and returns only after the goroutine has exited — the
+// no-leak guarantee the shutdown test asserts (stop channel closed, done
+// observed, queue drained).
+func (pf *Prefetcher) Close() {
+	pf.closed.Do(func() {
+		close(pf.stop)
+		// The goroutine may be blocked offering into a full queue; drain
+		// until it observes stop and closes done.
+		for {
+			select {
+			case <-pf.ch:
+			case <-pf.done:
+				for {
+					select {
+					case <-pf.ch:
+					default:
+						return
+					}
+				}
+			}
+		}
+	})
+}
+
+// Buffered reports how many generated samples are parked in the queue
+// (used by the shutdown test's drained-channel assertion).
+func (pf *Prefetcher) Buffered() int { return len(pf.ch) }

@@ -1,0 +1,97 @@
+package data
+
+import (
+	"testing"
+	"time"
+
+	"znn/internal/tensor"
+)
+
+// sameSample compares two samples bit-exactly.
+func sameSample(t *testing.T, a, b Sample, i int) {
+	t.Helper()
+	if a.Input.S != b.Input.S {
+		t.Fatalf("sample %d: input shapes differ: %v vs %v", i, a.Input.S, b.Input.S)
+	}
+	for j, v := range a.Input.Data {
+		if b.Input.Data[j] != v {
+			t.Fatalf("sample %d: input voxel %d differs: %v vs %v", i, j, v, b.Input.Data[j])
+		}
+	}
+	if len(a.Desired) != len(b.Desired) {
+		t.Fatalf("sample %d: desired counts differ: %d vs %d", i, len(a.Desired), len(b.Desired))
+	}
+	for k := range a.Desired {
+		for j, v := range a.Desired[k].Data {
+			if b.Desired[k].Data[j] != v {
+				t.Fatalf("sample %d: desired %d voxel %d differs", i, k, j)
+			}
+		}
+	}
+}
+
+// TestPrefetcherDeterministicSequence is the prefetcher's core contract:
+// the same seed yields the same sample sequence with and without the
+// background goroutine, across every provider kind znn-train wires up.
+func TestPrefetcherDeterministicSequence(t *testing.T) {
+	in, out := tensor.Cube(12), tensor.Cube(6)
+	providers := map[string]func(seed int64) Provider{
+		"random": func(seed int64) Provider { return NewRandomProvider(in, out, 1, seed) },
+		"boundary": func(seed int64) Provider {
+			bp := NewBoundaryProvider(in, out, seed)
+			bp.SetCentered(true)
+			return bp
+		},
+		"texture": func(seed int64) Provider { return NewTextureProviderCropped(in, 3, out, seed) },
+	}
+	for name, build := range providers {
+		t.Run(name, func(t *testing.T) {
+			bare := build(7)
+			pf := NewPrefetcher(build(7), 2)
+			defer pf.Close()
+			for i := 0; i < 8; i++ {
+				sameSample(t, bare.Next(), pf.Next(), i)
+			}
+		})
+	}
+}
+
+// TestPrefetcherCloseNoLeak asserts the shutdown contract: Close returns
+// only after the generator goroutine exited, leaves the queue drained, and
+// is idempotent — including when the goroutine is parked on a full queue.
+func TestPrefetcherCloseNoLeak(t *testing.T) {
+	pf := NewPrefetcher(NewRandomProvider(tensor.Cube(8), tensor.Cube(4), 1, 3), 1)
+	// Let the generator fill the queue and block offering the next sample.
+	deadline := time.Now().Add(2 * time.Second)
+	for pf.Buffered() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	pf.Close()
+	select {
+	case <-pf.done:
+	default:
+		t.Fatal("Close returned before the generator goroutine exited")
+	}
+	if n := pf.Buffered(); n != 0 {
+		t.Fatalf("Close left %d samples buffered, want a drained queue", n)
+	}
+	pf.Close() // idempotent
+}
+
+// TestPrefetcherConsumeAllThenClose closes a prefetcher whose goroutine is
+// mid-generation (queue empty), covering the other park position.
+func TestPrefetcherConsumeAllThenClose(t *testing.T) {
+	pf := NewPrefetcher(NewRandomProvider(tensor.Cube(8), tensor.Cube(4), 1, 4), 3)
+	for i := 0; i < 5; i++ {
+		pf.Next()
+	}
+	pf.Close()
+	select {
+	case <-pf.done:
+	default:
+		t.Fatal("Close returned with the generator goroutine still running")
+	}
+	if n := pf.Buffered(); n != 0 {
+		t.Fatalf("Close left %d samples buffered", n)
+	}
+}

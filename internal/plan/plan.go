@@ -28,13 +28,16 @@
 // The budget bounds the *estimated pooled spectrum footprint of one fused
 // inference round*: node image-spectrum caches (K·f buffers per FFT
 // layer, live until the round's ReleaseAll), spectral-sum accumulators
-// (K·f′ buffers), and in-flight pointwise products (bounded by the worker
-// count). Buffer sizes are rounded up to the allocator's power-of-two
-// classes (mempool.ClassSize), exactly as the pools charge them. GC-managed
-// memory — images, kernel spectra, tensor-sum scratch — is not pooled and
-// not counted. Because the estimate is an upper bound, a plan that fits the
-// budget keeps measured PeakLiveBytes within it; running N rounds in flight
-// multiplies the footprint by N.
+// (K·f′ buffers), in-flight pointwise products (bounded by the worker
+// count), and the cached kernel spectra (2·f·f′ buffers per FFT layer —
+// one kernel and one reflection per edge transformer, checked out of the
+// pool for the engine's lifetime and independent of K). Buffer sizes are
+// rounded up to the allocator's power-of-two classes (mempool.ClassSize),
+// exactly as the pools charge them. GC-managed memory — images, memo
+// slots, tensor-sum scratch — is not pooled and not counted. Because the
+// estimate is an upper bound, a plan that fits the budget keeps measured
+// PeakLiveBytes within it; running N rounds in flight multiplies the
+// round-scoped terms by N (kernel spectra are shared).
 //
 // Plans are deterministic: the same geometries, budget and configuration
 // always produce the same Plan (TuneMeasure calibration excepted — it times
@@ -309,9 +312,11 @@ func layerCost(g conv.LayerGeom, m conv.Method, prec conv.Precision, k int, meas
 // LayerBytes estimates the pooled spectrum bytes a layer holds during one
 // K-fused inference round with (m, prec): K·f node image-spectrum cache
 // buffers (live until the round's ReleaseAll), K·f′ spectral-sum
-// accumulators, and up to `workers` in-flight pointwise products, each of
-// the allocator's power-of-two class capacity. Spatial methods use no
-// pooled spectra and return 0.
+// accumulators, up to `workers` in-flight pointwise products, and the
+// layer's 2·f·f′ cached kernel spectra (one kernel and one reflection per
+// edge transformer, checked out of the pool for the engine's lifetime),
+// each of the allocator's power-of-two class capacity. Spatial methods use
+// no pooled spectra and return 0.
 func LayerBytes(g conv.LayerGeom, m conv.Method, prec conv.Precision, k, workers int) int64 {
 	if !m.IsFFT() {
 		return 0
@@ -329,7 +334,8 @@ func LayerBytes(g conv.LayerGeom, m conv.Method, prec conv.Precision, k, workers
 	if workers < inflight {
 		inflight = workers
 	}
-	return buf * int64(k*g.F+k*g.FPrime+inflight)
+	kernels := 2 * g.F * g.FPrime
+	return buf * int64(k*g.F+k*g.FPrime+inflight+kernels)
 }
 
 // minBytes returns the smallest achievable footprint over all K (used for

@@ -209,12 +209,13 @@ func TestLayerBytesModel(t *testing.T) {
 	if b64 != 2*b32 {
 		t.Fatalf("f64 bytes %d ≠ 2× f32 bytes %d", b64, b32)
 	}
-	// K·f + K·f′ + min(workers, K·f·f′) buffers at K=2, f=4, f′=4:
-	// 8 + 8 + min(w, 32).
+	// K·f + K·f′ + min(workers, K·f·f′) + 2·f·f′ buffers at K=2, f=4,
+	// f′=4: 8 + 8 + min(w, 32) + 32 (the kernel-spectra term is
+	// K-independent: one kernel and one reflection per edge transformer).
 	few := LayerBytes(g, conv.FFT, conv.PrecF64, 2, 1)
 	many := LayerBytes(g, conv.FFT, conv.PrecF64, 2, 64)
-	buf := few / (8 + 8 + 1)
-	if many != buf*(8+8+32) {
+	buf := few / (8 + 8 + 1 + 32)
+	if many != buf*(8+8+32+32) {
 		t.Fatalf("worker clamp wrong: 1-worker %d, 64-worker %d", few, many)
 	}
 }

@@ -74,6 +74,14 @@ func (en *Engine) SetTraining(training bool) {
 func (en *Engine) Round(inputs, desired []*tensor.Tensor) (float64, error) {
 	en.p.roundMu.Lock()
 	defer en.p.roundMu.Unlock()
+	return en.roundLocked(inputs, desired)
+}
+
+// roundLocked is Round's body, factored out so a strict pipelined session
+// (which holds the round lock for its whole lifetime) executes the exact
+// same code — the bit-identity guarantee between Engine.Round and a
+// strict TrainPipeline is by construction, not by parallel maintenance.
+func (en *Engine) roundLocked(inputs, desired []*tensor.Tensor) (float64, error) {
 	rs, err := en.p.newRound([][]*tensor.Tensor{inputs}, desired, true, false)
 	if err != nil {
 		return 0, err
@@ -265,9 +273,18 @@ func (en *Engine) Loss() float64 {
 	return en.lastLoss
 }
 
-// Close drains pending updates and shuts the scheduler down.
+// Close drains pending updates, returns the transformers' pooled kernel
+// spectra, and shuts the scheduler down. Releasing the spectra keeps a
+// closed engine from inflating the pools' live-byte baseline (kernel
+// spectra stay checked out across rounds while the engine lives); the
+// graph's transformers recompute them on the next compile's first round.
 func (en *Engine) Close() error {
 	err := en.Drain()
+	for _, e := range en.p.g.Edges {
+		if op, ok := e.Op.(*graph.ConvOp); ok {
+			op.Tr.ReleaseKernelSpectra()
+		}
+	}
 	en.p.sch.Shutdown()
 	return err
 }

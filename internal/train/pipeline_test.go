@@ -1,0 +1,237 @@
+package train
+
+import (
+	"strings"
+	"testing"
+
+	"math/rand"
+
+	"znn/internal/chaos"
+	"znn/internal/net"
+	"znn/internal/tensor"
+)
+
+// pipelineSamples pre-generates a deterministic training set so strict and
+// pipelined runs consume bit-identical inputs.
+func pipelineSamples(nw *net.Network, rounds int, seed int64) (ins, des []*tensor.Tensor) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < rounds; i++ {
+		ins = append(ins, tensor.RandomUniform(rng, nw.InputShape(), -1, 1))
+		des = append(des, tensor.RandomUniform(rng, nw.OutputShape(), -0.5, 0.5))
+	}
+	return ins, des
+}
+
+// trainRounds runs the training set through Engine.Round (the pre-pipeline
+// reference path) and returns the loss trajectory.
+func trainRounds(t *testing.T, en *Engine, ins, des []*tensor.Tensor) []float64 {
+	t.Helper()
+	losses := make([]float64, len(ins))
+	for i := range ins {
+		loss, err := en.Round([]*tensor.Tensor{ins[i].Clone()}, []*tensor.Tensor{des[i].Clone()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses[i] = loss
+	}
+	return losses
+}
+
+// trainPipeline runs the training set through a StartPipeline session with
+// ahead rounds submitted before the oldest is waited (ahead 0 waits each
+// round before submitting the next; strict sessions resolve at Submit, so
+// ahead is moot there).
+func trainPipeline(t *testing.T, en *Engine, ins, des []*tensor.Tensor, ahead int) []float64 {
+	t.Helper()
+	tp := en.StartPipeline()
+	losses := make([]float64, len(ins))
+	pending := make([]*PendingRound, 0, ahead+1)
+	next := 0 // index of the oldest unwaited round
+	for i := range ins {
+		pr, err := tp.Submit([]*tensor.Tensor{ins[i].Clone()}, []*tensor.Tensor{des[i].Clone()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, pr)
+		for len(pending) > ahead {
+			loss, err := pending[0].Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses[next] = loss
+			next++
+			pending = pending[1:]
+		}
+	}
+	for _, pr := range pending {
+		loss, err := pr.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses[next] = loss
+		next++
+	}
+	if err := tp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return losses
+}
+
+// sameTrajectory asserts two loss trajectories and two weight vectors are
+// bit-identical (==, not tolerance).
+func sameTrajectory(t *testing.T, label string, wantLoss, gotLoss []float64, want, got *net.Network) {
+	t.Helper()
+	for i := range wantLoss {
+		if gotLoss[i] != wantLoss[i] {
+			t.Errorf("%s: round %d loss %v, want %v (bit-identical)", label, i, gotLoss[i], wantLoss[i])
+		}
+	}
+	wp, gp := want.Params(), got.Params()
+	for i := range wp {
+		if gp[i] != wp[i] {
+			t.Fatalf("%s: weight %d is %v, want %v (bit-identical)", label, i, gp[i], wp[i])
+		}
+	}
+}
+
+// TestStrictPipelineMatchesRound is the escape-hatch guarantee: a session
+// with Config.Pipeline unset must produce the exact Engine.Round loss
+// trajectory and weights — strict mode IS the pre-pipeline semantics. Runs
+// on a width-3 net: strict shares Round's code path, so bit-identity holds
+// at any fan-in.
+func TestStrictPipelineMatchesRound(t *testing.T) {
+	o := net.BuildOptions{Width: 3, OutputExtent: 2, Seed: 11}
+	ref, str := buildPair(t, "C3-Ttanh-C3", o)
+	ins, des := pipelineSamples(ref, 6, 12)
+
+	enRef, err := NewEngine(ref.G, Config{Workers: 2, Eta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLoss := trainRounds(t, enRef, ins, des)
+	if err := enRef.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	enStr, err := NewEngine(str.G, Config{Workers: 2, Eta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strLoss := trainPipeline(t, enStr, ins, des, 2)
+	if err := enStr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sameTrajectory(t, "strict session", refLoss, strLoss, ref, str)
+}
+
+// TestPipelinedMatchesStrict asserts the fencing itself preserves the
+// arithmetic: on a width-2 net (fan-in 2 everywhere, so every join is a
+// commutative two-term float add — the repo's width-2 bit-exactness
+// convention) the pipelined trajectory equals strict bit for bit, at 1
+// worker (where no overlap is even possible) and at 4 workers (where round
+// N+1's forward genuinely interleaves with round N's tail).
+func TestPipelinedMatchesStrict(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(map[int]string{1: "1worker", 4: "4workers"}[workers], func(t *testing.T) {
+			o := net.BuildOptions{Width: 2, OutputExtent: 2, Seed: 13}
+			ref, pip := buildPair(t, "C3-Ttanh-C3", o)
+			ins, des := pipelineSamples(ref, 8, 14)
+
+			enRef, err := NewEngine(ref.G, Config{Workers: workers, Eta: 0.05})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refLoss := trainRounds(t, enRef, ins, des)
+			if err := enRef.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			enPip, err := NewEngine(pip.G, Config{Workers: workers, Eta: 0.05, Pipeline: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Keep 3 rounds in flight: deep enough that fences — not the
+			// submission loop — are what orders the rounds.
+			pipLoss := trainPipeline(t, enPip, ins, des, 3)
+			if err := enPip.Close(); err != nil {
+				t.Fatal(err)
+			}
+			sameTrajectory(t, "pipelined", refLoss, pipLoss, ref, pip)
+		})
+	}
+}
+
+// TestPipelineErrorDoesNotWedgeSuccessor injects a panic into the second
+// round's provider task — before it spawned any forward or backward work,
+// so none of its per-edge fences release normally — and asserts the error
+// stays on that round while the third round still completes (the finish
+// backstop force-releases the dead round's fences).
+func TestPipelineErrorDoesNotWedgeSuccessor(t *testing.T) {
+	nw, err := net.Build(net.MustParse("C3-Ttanh-C3"), net.BuildOptions{Width: 2, OutputExtent: 2, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, des := pipelineSamples(nw, 3, 16)
+	en, err := NewEngine(nw.G, Config{Workers: 2, Eta: 0.05, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+
+	chaos.Set("round.dispatch", chaos.Fault{Panic: "mid-session fault", After: 1, Count: 1})
+	defer chaos.ClearAll()
+
+	tp := en.StartPipeline()
+	var prs []*PendingRound
+	for i := range ins {
+		pr, err := tp.Submit([]*tensor.Tensor{ins[i]}, []*tensor.Tensor{des[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prs = append(prs, pr)
+	}
+	if _, err := prs[0].Wait(); err != nil {
+		t.Fatalf("round 0 failed: %v", err)
+	}
+	if _, err := prs[1].Wait(); err == nil || !strings.Contains(err.Error(), "mid-session fault") {
+		t.Fatalf("round 1 error = %v, want the injected fault", err)
+	}
+	if _, err := prs[2].Wait(); err != nil {
+		t.Fatalf("round 2 after the faulted round: %v", err)
+	}
+	if err := tp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineSubmitAfterClose pins the session lifecycle: Submit on a
+// closed session fails, Close is idempotent, and the engine is usable
+// (strictly) again after the session ends.
+func TestPipelineSubmitAfterClose(t *testing.T) {
+	nw, err := net.Build(net.MustParse("C2-Ttanh"), net.BuildOptions{Width: 2, OutputExtent: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, des := pipelineSamples(nw, 1, 18)
+	en, err := NewEngine(nw.G, Config{Workers: 2, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	tp := en.StartPipeline()
+	if _, err := tp.Submit([]*tensor.Tensor{ins[0]}, []*tensor.Tensor{des[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Close(); err != nil {
+		t.Fatal("second Close:", err)
+	}
+	if _, err := tp.Submit([]*tensor.Tensor{ins[0]}, []*tensor.Tensor{des[0]}); err == nil {
+		t.Fatal("Submit on a closed session succeeded")
+	}
+	if _, err := en.Round([]*tensor.Tensor{ins[0]}, []*tensor.Tensor{des[0]}); err != nil {
+		t.Fatalf("Round after session close: %v", err)
+	}
+}

@@ -27,6 +27,26 @@
 // tasks at the lowest priority and accumulate into source-node sums. Update
 // tasks therefore run either lazily on idle workers or are forced just
 // before the next round's forward pass touches their edge.
+//
+// # Round boundaries and per-edge fencing
+//
+// Consecutive training rounds are ordered per edge, not per network. The
+// only cross-round state a round N+1 forward task on edge e can touch is
+// edge-local: e's weights (mutated by round N's update task), the op's
+// recorded Jacobian inputs (consumed by round N's backward task on e), and
+// the transformer's kernel-spectrum memo (invalidated by e's update). All
+// of it is settled the moment round N's backward task on e has run — the
+// backward transform has consumed the recorded forward state and the
+// round-N update task has been swapped into the edge's slot, where FORCE
+// orders it before any later forward on e. That per-edge fence is what a
+// pipelined training session (Engine.StartPipeline) enforces: round N+1's
+// forward task on e is withheld until edge e's round-N backward completed,
+// and nothing else — so the tail of round N's backward sweep and its lazy
+// update drain overlap the head of round N+1's forward sweep. The strict
+// path (Engine.Round, or a session with Config.Pipeline unset) instead
+// serializes whole rounds behind the program's round lock, exactly the
+// pre-pipelining semantics; it remains the bit-reference the pipelined
+// mode is tested against.
 package train
 
 import (
@@ -73,6 +93,15 @@ type Config struct {
 	// plan does not cover fall back to the global Precision. The plan's
 	// fused width K is advisory to round builders (see Engine.Plan).
 	Plan *plan.Plan
+	// Pipeline enables overlapped training sessions: when set, a session
+	// opened with Engine.StartPipeline admits round N+1's forward task on
+	// edge e as soon as edge e's round-N backward task has completed (the
+	// per-edge fence described in the package doc), instead of waiting for
+	// the whole of round N. When unset, StartPipeline sessions run strict —
+	// each Submit executes a complete round exactly like Engine.Round, the
+	// bit-reference semantics. Engine.Round and Forward are always strict
+	// regardless of this flag.
+	Pipeline bool
 	// DisableSpectral turns off spectral accumulation. By default, when
 	// every edge converging on a node is an FFT convolution with identical
 	// geometry, the edges sum their FFT-domain products and the node runs
@@ -125,6 +154,19 @@ type edgeState struct {
 	// update is the update task created by the previous round's backward
 	// pass; the next forward pass forces it (Algorithm 1).
 	update *sched.Task
+	// bwdSeq is the per-edge fence of a pipelined training session: the
+	// highest session round whose backward task on this edge has completed
+	// (or been force-released by the round's completion backstop). waiters
+	// are the callbacks — enqueues of the next round's gated forward
+	// wrappers — parked until bwdSeq reaches their round's predecessor.
+	bwdSeq  uint64
+	waiters []fenceWaiter
+}
+
+// fenceWaiter parks one callback until the edge's fence reaches seq.
+type fenceWaiter struct {
+	seq uint64
+	fn  func()
 }
 
 func (es *edgeState) swapUpdate(t *sched.Task) *sched.Task {
@@ -139,6 +181,58 @@ func (es *edgeState) pendingUpdate() *sched.Task {
 	es.mu.Lock()
 	defer es.mu.Unlock()
 	return es.update
+}
+
+// backwardDone advances the edge's fence to seq and fires every waiter it
+// admits. Called once per edge from round seq's backward task (the normal
+// release, as early as the cross-round state is settled) and again from the
+// round's completion backstop (so an errored round that never reached this
+// edge's backward cannot wedge its successor); the second call is a no-op.
+func (es *edgeState) backwardDone(seq uint64) {
+	es.mu.Lock()
+	if seq <= es.bwdSeq {
+		es.mu.Unlock()
+		return
+	}
+	es.bwdSeq = seq
+	var ready []func()
+	kept := es.waiters[:0]
+	for _, w := range es.waiters {
+		if w.seq <= seq {
+			ready = append(ready, w.fn)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	es.waiters = kept
+	es.mu.Unlock()
+	for _, fn := range ready {
+		fn()
+	}
+}
+
+// whenBackward runs fn once the edge's fence has reached seq — immediately
+// on the calling thread when it already has, otherwise from whichever
+// backwardDone admits it.
+func (es *edgeState) whenBackward(seq uint64, fn func()) {
+	es.mu.Lock()
+	if es.bwdSeq >= seq {
+		es.mu.Unlock()
+		fn()
+		return
+	}
+	es.waiters = append(es.waiters, fenceWaiter{seq: seq, fn: fn})
+	es.mu.Unlock()
+}
+
+// resetFence rewinds the edge's fence for a new pipelined session (session
+// round numbering restarts at 1). The caller holds the round lock
+// exclusively, so no waiter can be parked here.
+func (es *edgeState) resetFence() {
+	es.mu.Lock()
+	es.bwdSeq = 0
+	es.waiters = nil
+	es.mu.Unlock()
 }
 
 // Program is the immutable compiled form of a computation graph: topology,

@@ -95,6 +95,11 @@ type RoundState struct {
 	batch    [][]*tensor.Tensor // batch[v] is volume v's input images
 	desired  []*tensor.Tensor
 	nodes    []roundNode
+	// fenceSeq is the round's 1-based sequence number within a pipelined
+	// training session, or 0 for strict/inference rounds. A non-zero
+	// fenceSeq gates every forward task on its edge's round-(fenceSeq-1)
+	// backward fence instead of enqueueing it directly (see fanOutForward).
+	fenceSeq uint64
 
 	mu          sync.Mutex
 	loss        float64
@@ -196,6 +201,14 @@ func (p *Program) newRound(batch [][]*tensor.Tensor, desired []*tensor.Tensor, b
 // stay on the engine's sticky error, surfaced by the exclusive entry
 // points and Drain/Close.
 func (rs *RoundState) run() error {
+	rs.start()
+	return rs.wait()
+}
+
+// start spawns the round's data-provider task (Fig. 3, orange node),
+// setting the task tree in motion without waiting for it — the pipelined
+// session's Submit half. Strict callers use run.
+func (rs *RoundState) start() {
 	providerPrio := int64(1 << 30) // runs before any forward task
 	rs.sr.Spawn(sched.Work, providerPrio, func() {
 		// The "round.dispatch" chaos point fires inside the round's own
@@ -220,6 +233,11 @@ func (rs *RoundState) run() error {
 			rs.fanOutForward(node, imgs)
 		}
 	})
+}
+
+// wait blocks until the round's task tree has completed, then releases the
+// round's accumulators — the pipelined session's Wait half.
+func (rs *RoundState) wait() error {
 	rs.sr.Wait()
 	rs.release()
 	return rs.sr.Err()
@@ -290,7 +308,31 @@ func (rs *RoundState) Loss() float64 {
 // drained all pending update tasks before the round was admitted, so there
 // is nothing to force and no cross-round edge state to touch (Algorithm 1,
 // FORWARD-TASK + FORCE).
+//
+// Pipelined training rounds (fenceSeq > 0) take a third path: each
+// out-edge's forward wrapper is created — and counted against the round —
+// immediately, but enqueued only once the edge's fence reports the
+// previous session round's backward task on that edge completed. The
+// wrapper body is then exactly the strict one (FORCE the pending update,
+// run the forward), so per-edge arithmetic is identical; only admission
+// timing differs.
 func (rs *RoundState) fanOutForward(n *graph.Node, imgs []*tensor.Tensor) {
+	if rs.fenceSeq > 0 {
+		for _, e := range n.Out {
+			e := e
+			es := rs.p.edges[e.ID]
+			wrapper := rs.sr.NewTask(sched.Work, e.To.FwdPrio, func() {
+				sub := rs.sr.NewTask(sched.Work, e.To.FwdPrio, func() {
+					rs.doForward(e, imgs)
+				})
+				rs.p.sch.Force(es.pendingUpdate(), sub)
+			})
+			es.whenBackward(rs.fenceSeq-1, func() {
+				rs.p.sch.Enqueue(wrapper)
+			})
+		}
+		return
+	}
 	specs := make([]sched.TaskSpec, len(n.Out))
 	for i, e := range n.Out {
 		e := e
@@ -446,6 +488,16 @@ func (rs *RoundState) doBackward(e *graph.Edge, img *tensor.Tensor) {
 		})
 		rs.p.edges[e.ID].swapUpdate(upd)
 		rs.p.sch.Enqueue(upd)
+	}
+
+	// All cross-round edge state is settled: the backward transform has
+	// consumed the op's recorded forward inputs and this round's update
+	// task (if any) sits in the edge slot where FORCE orders it. Release
+	// the edge's fence so a pipelined successor round's forward on e can be
+	// admitted — the source-sum join below is round-local and need not hold
+	// it back.
+	if rs.fenceSeq > 0 {
+		rs.p.edges[e.ID].backwardDone(rs.fenceSeq)
 	}
 
 	var sum *tensor.Tensor

@@ -147,6 +147,12 @@ type Config struct {
 	// front ends should set it to their maximum batch size so the plan's
 	// footprint estimate covers the widest round they will run.
 	PlanMaxK int
+	// Pipeline enables overlapped training sessions (TrainStart): round
+	// N+1's forward work on an edge is admitted as soon as round N's
+	// backward work on that edge has drained, so consecutive rounds'
+	// compute overlaps. When false, TrainStart sessions run strict — each
+	// round completes before the next starts, the exact Train semantics.
+	Pipeline bool
 }
 
 func (c Config) tuner() *conv.Autotuner {
@@ -239,6 +245,7 @@ func NewNetwork(spec string, cfg Config) (*Network, error) {
 		Precision:       cfg.precision(),
 		DisableSpectral: cfg.DisableSpectral,
 		Plan:            pl,
+		Pipeline:        cfg.Pipeline,
 	})
 	if err != nil {
 		return nil, err
@@ -304,6 +311,46 @@ func (n *Network) Train(input, desired *Tensor) (float64, error) {
 func (n *Network) TrainMulti(inputs, desired []*Tensor) (float64, error) {
 	return n.en.Round(inputs, desired)
 }
+
+// TrainPipeline is a training session that may keep several rounds in
+// flight at once; see TrainStart.
+type TrainPipeline = train.TrainPipeline
+
+// PendingRound is one submitted training round of a TrainPipeline; its
+// Wait returns the round's loss.
+type PendingRound = train.PendingRound
+
+// TrainStart opens a training session and returns its handle. The session
+// owns the network until its Close: Infer, Train and SetTraining block for
+// the duration. With Config.Pipeline set, rounds submitted to the session
+// overlap — round N+1's forward work on an edge starts as soon as round
+// N's backward work on that edge has drained; otherwise each Submit runs a
+// complete round exactly like Train. Typical loop:
+//
+//	tp := n.TrainStart()
+//	var prev *znn.PendingRound
+//	for _, s := range samples {
+//		pr, err := tp.Submit(s.Inputs, s.Desired)
+//		if err != nil { ... }
+//		if prev != nil {
+//			loss, err := prev.Wait()
+//			...
+//		}
+//		prev = pr
+//	}
+//	err := tp.Close() // waits the tail
+func (n *Network) TrainStart() *TrainPipeline { return n.en.StartPipeline() }
+
+// SetPipeline toggles overlapped training sessions after construction —
+// the Config.Pipeline equivalent for networks rebuilt from a checkpoint.
+// Must not be called while a TrainStart session is open.
+func (n *Network) SetPipeline(on bool) { n.en.SetPipeline(on) }
+
+// Drain applies all pending lazy weight updates. Training normally leaves
+// the final round's updates queued (they are forced by the next round's
+// forward pass); call Drain after the last round — or before reading
+// Params — so every gradient is applied. Close drains implicitly.
+func (n *Network) Drain() error { return n.en.Drain() }
 
 // Infer runs a forward-only inference round and returns the outputs.
 // Infer is safe to call from any number of goroutines at once: concurrent
