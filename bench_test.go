@@ -3,7 +3,7 @@
 // parameter sweeps and prints the tables).
 //
 //	go test -bench=. -benchmem
-package znn
+package znn_test
 
 import (
 	"fmt"

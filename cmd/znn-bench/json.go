@@ -29,7 +29,9 @@ type benchRecord struct {
 	P99Ns     int64   `json:"p99_ns,omitempty"`               // tail latency, loadgen rows (ns_op is p50)
 	ShedRate  float64 `json:"shed_rate,omitempty"`            // fraction of requests shed 429, loadgen rows
 	PredBytes int64   `json:"predicted_peak_bytes,omitempty"` // planner's pooled-peak estimate, plan/* rows
-	MeasBytes int64   `json:"measured_peak_bytes,omitempty"`  // measured pooled peak, plan/* rows
+	MeasBytes int64   `json:"measured_peak_bytes,omitempty"`  // measured pooled peak, plan/* and tile/* rows
+	VoxPerSec float64 `json:"voxels_per_s,omitempty"`         // fresh output voxels per second, tile/* rows
+	HaloWaste float64 `json:"halo_waste,omitempty"`           // recomputed input fraction at the row's block size, tile/* rows
 	Arch      string  `json:"goarch"`
 	Features  string  `json:"features"`
 }
@@ -68,13 +70,15 @@ func jsonBenchmarks(cfg config) {
 		const runs = 3
 		ns := make([]int64, 0, runs)
 		bs := make([]int64, 0, runs)
+		vox := make([]float64, 0, runs)
 		var pred, meas int64
+		var halo float64
 		for i := 0; i < runs; i++ {
 			r := testing.Benchmark(fn)
 			ns = append(ns, r.NsPerOp())
 			bs = append(bs, r.AllocedBytesPerOp())
-			// plan/* rows report the planner's byte estimate and the
-			// measured pooled peak as Extra metrics; the peak keeps its
+			// plan/* and tile/* rows report the planner's byte estimate and
+			// the measured pooled peak as Extra metrics; the peak keeps its
 			// worst observation across the three runs.
 			if v, ok := r.Extra["pred_bytes"]; ok {
 				pred = int64(v)
@@ -82,9 +86,22 @@ func jsonBenchmarks(cfg config) {
 			if v, ok := r.Extra["meas_bytes"]; ok && int64(v) > meas {
 				meas = int64(v)
 			}
+			// tile/* rows: throughput takes the median like ns_op; the halo
+			// fraction is a geometric constant of the row.
+			if v, ok := r.Extra["voxels/s"]; ok {
+				vox = append(vox, v)
+			}
+			if v, ok := r.Extra["halo_waste"]; ok {
+				halo = v
+			}
 		}
 		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
 		sort.Slice(bs, func(a, b int) bool { return bs[a] < bs[b] })
+		sort.Float64s(vox)
+		var voxMed float64
+		if len(vox) > 0 {
+			voxMed = vox[len(vox)/2]
+		}
 		rec := benchRecord{
 			Name:      name,
 			Shape:     shape,
@@ -93,6 +110,8 @@ func jsonBenchmarks(cfg config) {
 			Workers:   workers,
 			PredBytes: pred,
 			MeasBytes: meas,
+			VoxPerSec: voxMed,
+			HaloWaste: halo,
 			Arch:      runtime.GOARCH,
 			Features:  fft.KernelPath(),
 		}
@@ -206,6 +225,28 @@ func jsonBenchmarks(cfg config) {
 			benchsuite.PlanBench(b, "planned", budget, planWorkers)
 		})
 	}
+
+	// Tiled whole-cube streaming: one 128³ raw volume on disk streamed
+	// through overlap-tiled fused rounds and stitched back to disk (the
+	// znn-infer file path). ns_op is one whole-cube stream; each row records
+	// voxels_per_s (fresh output voxels), halo_waste at its block size, and
+	// the measured pooled-spectrum peak. tile/seq is the naive sequential
+	// baseline the pipelined row must beat on ≥4-core hosts (core-count-
+	// bound, like every other speedup row); the block-16 and f32 rows sweep
+	// the (block size × precision) grid.
+	tileWorkers := inferWorkers
+	add("tile/seq/f64-b32", "128x128x128", tileWorkers, func(b *testing.B) {
+		benchsuite.Tile(b, 128, 32, false, false, tileWorkers)
+	})
+	add("tile/pipe/f64-b32", "128x128x128", tileWorkers, func(b *testing.B) {
+		benchsuite.Tile(b, 128, 32, false, true, tileWorkers)
+	})
+	add("tile/pipe/f64-b16", "128x128x128", tileWorkers, func(b *testing.B) {
+		benchsuite.Tile(b, 128, 16, false, true, tileWorkers)
+	})
+	add("tile/pipe/f32-b32", "128x128x128", tileWorkers, func(b *testing.B) {
+		benchsuite.Tile(b, 128, 32, true, true, tileWorkers)
+	})
 
 	name := fmt.Sprintf("BENCH_%s.json", out.Date)
 	// Merge into an existing same-day file instead of clobbering it: a rerun

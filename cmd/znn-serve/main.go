@@ -48,7 +48,15 @@
 //	GET  /healthz  liveness, input/output geometry, model generation + reload state
 //	POST /infer    {"data":[...]} or {"inputs":[[...],...]} → outputs
 //	POST /reload   {"checkpoint": path}? → hot-swap weights (default: -checkpoint)
-//	GET  /stats    scheduler, mempool, serving, batcher and admission counters
+//	GET  /stats    scheduler, mempool, serving, batcher, admission and cube-job counters
+//
+// Volumes too large to POST as one JSON body go through the cube-job API
+// (see cubejob.go): POST /cube submits a whole-volume streaming job, raw
+// binary chunks upload with PUT /cube/{id}/data, POST /cube/{id}/start
+// streams it through the overlap-tiled executor on the serving generation,
+// GET /cube/{id} reports blocks done/total and bytes stitched, and
+// GET /cube/{id}/output/{i} downloads the stitched raw outputs. At most
+// -max-cube-jobs jobs may be unfinished at once and one streams at a time.
 //
 // /infer accepts one flat float64 array per input volume in x-fastest
 // (x, then y, then z) order; "shape" is optional and defaults to the
@@ -90,6 +98,8 @@ func main() {
 	planned := flag.Bool("plan", false, "compile from a whole-network execution plan (per-layer method/precision under -mem-budget)")
 	memBudget := flag.Int64("mem-budget", 0, "pooled spectrum byte budget for the execution plan (0 = unconstrained; implies -plan)")
 	seed := flag.Int64("seed", 1, "initialization seed when no checkpoint is given")
+	maxCubeJobs := flag.Int("max-cube-jobs", 4, "shed 429 past this many unfinished cube jobs (0 = unbounded)")
+	maxCubeBytes := flag.Int64("max-cube-bytes", 1<<30, "input byte cap per cube job volume")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -145,11 +155,14 @@ func main() {
 	case *maxQueue < 0:
 		s.maxQueue = 0 // never shed
 	}
+	s.maxCubeJobs = *maxCubeJobs
+	s.maxCubeBytes = *maxCubeBytes
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/infer", s.handleInfer)
 	mux.HandleFunc("/reload", s.handleReload)
 	mux.HandleFunc("/stats", s.handleStats)
+	s.cubeRoutes(mux)
 
 	srv := &http.Server{
 		Addr:              *addr,

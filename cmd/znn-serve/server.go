@@ -70,6 +70,23 @@ type server struct {
 	reloads   atomic.Int64 // completed reloads
 	lastErr   atomic.Value // string: last reload failure, "" after success
 
+	// Cube jobs: whole-volume streaming (tiled) inference submitted as
+	// upload → start → progress → download. Jobs ride the same generation
+	// refcounts as requests (a running job delays its generation's close
+	// across hot reloads) and their own admission bound.
+	cubeMu       sync.Mutex
+	cubeJobs     map[string]*cubeJob
+	cubeSeq      int64
+	maxCubeJobs  int           // stored unfinished jobs; past it new submissions shed 429
+	maxCubeBytes int64         // input volume byte cap per job
+	cubeRun      chan struct{} // serializes running cube streams
+
+	cubeDone          atomic.Int64 // jobs finished successfully
+	cubeFailed        atomic.Int64 // jobs that errored while streaming
+	cubeBlocksDone    atomic.Int64 // blocks stitched across all jobs
+	cubeBlocksTotal   atomic.Int64 // blocks planned across all started jobs
+	cubeBytesStitched atomic.Int64 // output bytes stitched across all jobs
+
 	served    atomic.Int64 // completed inference requests
 	rejected  atomic.Int64 // malformed requests
 	shed      atomic.Int64 // requests rejected 429 at admission
@@ -99,6 +116,10 @@ func newServer(nw *znn.Network, inflight, maxBatch int, batchDelay time.Duration
 	}
 	s.maxQueue = 4 * inflight * perRound
 	s.lastErr.Store("")
+	s.cubeJobs = make(map[string]*cubeJob)
+	s.cubeRun = make(chan struct{}, 1)
+	s.maxCubeJobs = 4
+	s.maxCubeBytes = 1 << 30
 	return s
 }
 
@@ -517,6 +538,15 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"pool_images":       poolWire(mempool.Images.Stats()),
 		"pool_spectra":      poolWire(mempool.Spectra.Stats()),
 		"pool_spectra_f32":  poolWire(mempool.Spectra32.Stats()),
+		// Tiler job counters: cube jobs stream whole volumes through
+		// overlapping blocks; blocks done/total and bytes stitched aggregate
+		// across every job this process has started.
+		"cube_jobs_active":    s.cubeActive(),
+		"cube_jobs_done":      s.cubeDone.Load(),
+		"cube_jobs_failed":    s.cubeFailed.Load(),
+		"cube_blocks_done":    s.cubeBlocksDone.Load(),
+		"cube_blocks_total":   s.cubeBlocksTotal.Load(),
+		"cube_bytes_stitched": s.cubeBytesStitched.Load(),
 		// Which complex64 kernel set this process dispatched to ("avx2",
 		// "scalar", or "purego") and how many kernel calls it has made —
 		// the first thing to check when two hosts disagree on infer_ms_ew.

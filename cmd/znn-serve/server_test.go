@@ -65,6 +65,7 @@ func serveMux(s *server) *httptest.Server {
 	mux.HandleFunc("/infer", s.handleInfer)
 	mux.HandleFunc("/reload", s.handleReload)
 	mux.HandleFunc("/stats", s.handleStats)
+	s.cubeRoutes(mux)
 	return httptest.NewServer(mux)
 }
 

@@ -48,3 +48,18 @@ func BenchmarkTrainPipeline(b *testing.B) {
 	b.Run("Strict", func(b *testing.B) { TrainPipeline(b, workers, false) })
 	b.Run("Pipelined", func(b *testing.B) { TrainPipeline(b, workers, true) })
 }
+
+// BenchmarkTile pairs the sequential whole-cube stream against the
+// pipelined one at the same worker count and block size — the in-repo
+// twin of the tile/* BENCH rows (those run 128³; this runs 64³ to stay
+// test-suite friendly). On a ≥4-core host the pipelined side should win
+// (reads and stitches hide behind compute); a 1-core host measures
+// ≈ parity, core-count-bound like every other speedup experiment here.
+func BenchmarkTile(b *testing.B) {
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	b.Run("Seq", func(b *testing.B) { Tile(b, 64, 16, false, false, workers) })
+	b.Run("Pipelined", func(b *testing.B) { Tile(b, 64, 16, false, true, workers) })
+}

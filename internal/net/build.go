@@ -22,11 +22,18 @@ type BuildOptions struct {
 	// Dims is 2 or 3 (2 builds x×y×1 images, the paper's 2D case).
 	Dims int
 	// OutputExtent is the isotropic output patch extent; the input extent
-	// is derived from the spec. Exactly one of OutputExtent/InputExtent
-	// must be set.
+	// is derived from the spec. Exactly one of OutputExtent, InputExtent
+	// or InputShape must be set.
 	OutputExtent int
 	// InputExtent sets the input extent directly.
 	InputExtent int
+	// InputShape sets the input image shape directly, possibly
+	// anisotropic — the tiler builds block networks this way, so a thin
+	// volume (e.g. 7×96×96) gets a block shaped like the volume instead
+	// of being forced through its smallest axis. Layer windows stay
+	// isotropic; only the image extents differ per axis. In 2D the Z
+	// extent must be 1.
+	InputShape tensor.Shape
 	// Tuner decides direct vs FFT per conv layer. Nil uses TuneModel.
 	Tuner *conv.Autotuner
 	// Memoize enables FFT memoization on conv edges.
@@ -56,8 +63,21 @@ func (o *BuildOptions) fillDefaults() error {
 	if o.Dims != 2 && o.Dims != 3 {
 		return fmt.Errorf("net: dims must be 2 or 3, got %d", o.Dims)
 	}
-	if (o.OutputExtent == 0) == (o.InputExtent == 0) {
-		return fmt.Errorf("net: exactly one of OutputExtent or InputExtent must be set")
+	set := 0
+	if o.OutputExtent != 0 {
+		set++
+	}
+	if o.InputExtent != 0 {
+		set++
+	}
+	if o.InputShape.Valid() {
+		set++
+	}
+	if set != 1 {
+		return fmt.Errorf("net: exactly one of OutputExtent, InputExtent or InputShape must be set")
+	}
+	if o.InputShape.Valid() && o.Dims == 2 && o.InputShape.Z != 1 {
+		return fmt.Errorf("net: 2D InputShape must have Z extent 1, got %v", o.InputShape)
 	}
 	if o.Tuner == nil {
 		o.Tuner = &conv.Autotuner{}
@@ -120,6 +140,68 @@ func (nw *Network) LayerGeoms() []conv.LayerGeom {
 	return out
 }
 
+// LayerGeomsFor walks the spec at a given (possibly anisotropic) input
+// shape and returns the per-conv-layer tuning geometries without building
+// a graph — the execution planner's view of a candidate block network.
+// Widths and dimensionality follow o; its extent fields are ignored in
+// favour of in. Density is left unset (treated as dense); callers planning
+// against a trained network graft the live densities from
+// Network.LayerGeoms, whose layer order matches.
+func LayerGeomsFor(spec Spec, o BuildOptions, in tensor.Shape) ([]conv.LayerGeom, error) {
+	o.InputShape = in
+	o.OutputExtent, o.InputExtent = 0, 0
+	if err := o.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if len(spec.Layers) == 0 {
+		return nil, fmt.Errorf("net: empty spec")
+	}
+	if _, err := spec.OutputShape(in, o.Dims); err != nil {
+		return nil, err
+	}
+	lastConv := -1
+	for i, l := range spec.Layers {
+		if l.Kind == ConvLayer {
+			lastConv = i
+		}
+	}
+	shape := in
+	curWidth := o.InWidth
+	sparsity := 1
+	var out []conv.LayerGeom
+	for li, l := range spec.Layers {
+		switch l.Kind {
+		case ConvLayer:
+			width := o.Width
+			if li == lastConv {
+				width = o.OutWidth
+			}
+			k := o.isoWindow(l.Window)
+			sp := o.isoSparsity(sparsity)
+			out = append(out, conv.LayerGeom{In: shape, Kernel: k, Sp: sp, F: curWidth, FPrime: width})
+			outShape := shape.ValidConv(k, sp)
+			if !outShape.Valid() {
+				return nil, fmt.Errorf("net: layer %d: kernel %v (sparsity %v) does not fit image %v",
+					li, k, sp, shape)
+			}
+			shape, curWidth = outShape, width
+		case PoolLayer:
+			shape = shape.Div(o.isoWindow(l.Window))
+		case FilterLayer:
+			w := o.isoWindow(l.Window)
+			sp := o.isoSparsity(sparsity)
+			outShape := shape.ValidConv(w, sp)
+			if !outShape.Valid() {
+				return nil, fmt.Errorf("net: layer %d: filter %v (sparsity %v) does not fit image %v",
+					li, w, sp, shape)
+			}
+			shape = outShape
+			sparsity *= l.Window
+		}
+	}
+	return out, nil
+}
+
 // Build constructs the network graph for a spec.
 func Build(spec Spec, o BuildOptions) (*Network, error) {
 	if err := o.fillDefaults(); err != nil {
@@ -128,23 +210,30 @@ func Build(spec Spec, o BuildOptions) (*Network, error) {
 	if len(spec.Layers) == 0 {
 		return nil, fmt.Errorf("net: empty spec")
 	}
-	inExtent := o.InputExtent
-	if inExtent == 0 {
-		var err error
-		inExtent, err = spec.InputExtent(o.OutputExtent)
-		if err != nil {
+	var shape tensor.Shape
+	if o.InputShape.Valid() {
+		shape = o.InputShape
+		if _, err := spec.OutputShape(shape, o.Dims); err != nil {
 			return nil, err
 		}
-	}
-	if _, err := spec.OutputExtent(inExtent); err != nil {
-		return nil, err
+	} else {
+		inExtent := o.InputExtent
+		if inExtent == 0 {
+			var err error
+			inExtent, err = spec.InputExtent(o.OutputExtent)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := spec.OutputExtent(inExtent); err != nil {
+			return nil, err
+		}
+		shape = o.isoShape(inExtent)
 	}
 
 	rng := rand.New(rand.NewSource(o.Seed))
 	g := graph.New()
 	nw := &Network{G: g, Spec: spec, Opts: o}
-
-	shape := o.isoShape(inExtent)
 	cur := make([]*graph.Node, o.InWidth)
 	for i := range cur {
 		cur[i] = g.AddNode(fmt.Sprintf("input/%d", i), shape)

@@ -1,0 +1,130 @@
+package net
+
+import (
+	"testing"
+
+	"znn/internal/tensor"
+)
+
+// TestFieldOfViewExampleNets pins Spec.FieldOfView against hand-computed
+// values for the nets the examples ship — until now the FOV was only
+// exercised indirectly, through the extents Build derives from it.
+//
+// Hand computation walks InputExtent(1) backward through the layers:
+// a conv/filter window k at sparsity s adds s·(k−1); a pooling layer
+// multiplies by its window. Sparsities are the product of the windows of
+// preceding filter layers (filter rarefaction, Fig. 2).
+func TestFieldOfViewExampleNets(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		fov  int
+	}{
+		// examples/boundary3d: C3-Ttanh-P2-C3-Ttanh-C1-Tlogistic.
+		// Backward from 1: C1 +0 → 1, C3 +2 → 3, P2 ×2 → 6, C3 +2 → 8.
+		{"boundary3d-pooling", "C3-Ttanh-P2-C3-Ttanh-C1-Tlogistic", 8},
+		// Its SlidingWindow (ToFiltering) transform: sparsity doubles
+		// after M2, so C1 +2·0 → 1, C3 +2·2 → 5, M2 +1 → 6, C3 +2 → 8.
+		// Same FOV — the sliding-window equivalence.
+		{"boundary3d-filtering", "C3-Ttanh-M2-C3-Ttanh-C1-Tlogistic", 8},
+		// examples/multiscale: the fine path is C5 (dense) into the C3
+		// merge head; 14³ → 10³ → 8³, so FOV = 1+2+4 = 7. (The coarse
+		// path — C3 at dilation 2 — spans the same 5³ window by
+		// construction, which is why the paths align without resampling.)
+		{"multiscale-fine-path", "C5-Trelu-C3-Ttanh", 7},
+		// A rarefied multiscale-style stack: C3, filter 2, then a C3
+		// running at sparsity 2. Backward: C3@2 +4 → 5, M2 +1 → 6,
+		// C3 +2 → 8.
+		{"multiscale-rarefied", "C3-Trelu-M2-C3", 8},
+		// Deeper pooling edge: two P2 stages. Backward: C2 +1 → 2,
+		// P2 ×2 → 4, C3 +2 → 6, P2 ×2 → 12, C3 +2 → 14.
+		{"double-pool", "C3-P2-C3-P2-C2", 14},
+		// And its filtering transform (sparsities 1,1,2,2,4):
+		// C2 +4 → 5, M2 +2 → 7, C3 +4 → 11, M2 +1 → 12, C3 +2 → 14.
+		{"double-pool-filtering", "C3-M2-C3-M2-C2", 14},
+		// Degenerate single layers.
+		{"conv-only", "C7", 7},
+		{"pointwise", "C1-Tlogistic", 1},
+	}
+	for _, c := range cases {
+		spec := MustParse(c.spec)
+		if got := spec.FieldOfView(); got != c.fov {
+			t.Errorf("%s: FieldOfView() = %d, want %d", c.name, got, c.fov)
+		}
+	}
+
+	// ToFiltering preserves the FOV of every pooling case above by
+	// construction, not just the two pinned pairs.
+	for _, c := range cases {
+		spec := MustParse(c.spec)
+		if f := spec.ToFiltering(); f.FieldOfView() != c.fov {
+			t.Errorf("%s: ToFiltering FOV = %d, want %d", c.name, f.FieldOfView(), c.fov)
+		}
+	}
+}
+
+// TestInputOutputExtentRoundTrip checks the forward/backward extent walk
+// agrees with itself on the example nets, including the pooling
+// divisibility edge.
+func TestInputOutputExtentRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"C3-Ttanh-P2-C3-Ttanh-C1-Tlogistic",
+		"C3-Ttanh-M2-C3-Ttanh-C1-Tlogistic",
+		"C3-P2-C3-P2-C2",
+	} {
+		spec := MustParse(s)
+		for out := 1; out <= 9; out++ {
+			in, err := spec.InputExtent(out)
+			if err != nil {
+				t.Fatalf("%s: InputExtent(%d): %v", s, out, err)
+			}
+			got, err := spec.OutputExtent(in)
+			if err != nil {
+				t.Fatalf("%s: OutputExtent(%d): %v", s, in, err)
+			}
+			if got != out {
+				t.Errorf("%s: round trip out=%d → in=%d → out=%d", s, out, in, got)
+			}
+		}
+	}
+
+	// Pooling divisibility must error, not silently truncate: 9 through
+	// C3 leaves 7, which P2 cannot split; 8 leaves 6, which it can.
+	spec := MustParse("C3-P2-C2")
+	if _, err := spec.OutputExtent(9); err == nil {
+		t.Error("OutputExtent(9) on C3-P2-C2: want divisibility error")
+	}
+	if got, err := spec.OutputExtent(8); err != nil || got != 2 {
+		t.Errorf("OutputExtent(8) on C3-P2-C2 = %d, %v; want 2, nil", got, err)
+	}
+}
+
+// TestOutputShapeAnisotropic checks the per-axis extent walk OutputShape
+// performs for anisotropic inputs, in both dimensionalities.
+func TestOutputShapeAnisotropic(t *testing.T) {
+	spec := MustParse("C3-Trelu-C3")
+	got, err := spec.OutputShape(tensor.S3(7, 96, 33), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tensor.S3(3, 92, 29); got != want {
+		t.Errorf("OutputShape(7x96x33) = %v, want %v", got, want)
+	}
+
+	// 2D: Z passes through, and non-1 Z is rejected.
+	got, err = spec.OutputShape(tensor.S3(9, 11, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tensor.S3(5, 7, 1); got != want {
+		t.Errorf("2D OutputShape(9x11x1) = %v, want %v", got, want)
+	}
+	if _, err := spec.OutputShape(tensor.S3(9, 11, 2), 2); err == nil {
+		t.Error("2D OutputShape with Z=2: want error")
+	}
+
+	// An axis smaller than the FOV errors.
+	if _, err := spec.OutputShape(tensor.S3(4, 96, 96), 3); err == nil {
+		t.Error("OutputShape with X < FOV: want error")
+	}
+}

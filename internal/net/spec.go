@@ -230,6 +230,41 @@ func (s Spec) OutputExtent(in int) (int, error) {
 	return n, nil
 }
 
+// OutputShape applies the spec's extent arithmetic per axis to a possibly
+// anisotropic input shape. Layer windows are isotropic, so each axis walks
+// OutputExtent independently; in 2D (dims == 2) the windows have Z extent
+// 1, so the input's Z axis must be 1 and passes through unchanged. dims 0
+// defaults to 3.
+func (s Spec) OutputShape(in tensor.Shape, dims int) (tensor.Shape, error) {
+	if dims == 0 {
+		dims = 3
+	}
+	ox, err := s.OutputExtent(in.X)
+	if err != nil {
+		return tensor.Shape{}, fmt.Errorf("net: x axis: %w", err)
+	}
+	oy, err := s.OutputExtent(in.Y)
+	if err != nil {
+		return tensor.Shape{}, fmt.Errorf("net: y axis: %w", err)
+	}
+	oz := in.Z
+	if dims == 3 {
+		oz, err = s.OutputExtent(in.Z)
+		if err != nil {
+			return tensor.Shape{}, fmt.Errorf("net: z axis: %w", err)
+		}
+	} else if in.Z != 1 {
+		return tensor.Shape{}, fmt.Errorf("net: 2D input must have Z extent 1, got %v", in)
+	}
+	return tensor.S3(ox, oy, oz), nil
+}
+
+// HasPooling reports whether the spec contains max-pooling layers. Pooled
+// networks are not per-voxel translation invariant, so they cannot be
+// tiled; ToFiltering converts them to the equivalent max-filtering form
+// that can.
+func (s Spec) HasPooling() bool { return s.hasPooling() }
+
 func (s Spec) hasPooling() bool {
 	for _, l := range s.Layers {
 		if l.Kind == PoolLayer {

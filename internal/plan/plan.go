@@ -77,6 +77,12 @@ type Config struct {
 	// Workers bounds the number of simultaneously in-flight pointwise
 	// product buffers in the byte model; 0 means 1.
 	Workers int
+	// Rounds is the number of fused rounds simultaneously in flight the
+	// byte model charges for; 0 means 1. Streaming executors with a
+	// bounded window (tile.Run) keep Window rounds' round-scoped buffers
+	// — image-spectrum caches, accumulators, in-flight products — live at
+	// once, while the cached kernel spectra are shared across rounds.
+	Rounds int
 }
 
 // Assignment is one layer's planned execution: its geometry and the chosen
@@ -99,6 +105,15 @@ type Plan struct {
 	PeakBytes int64   // Σ layer byte estimates (upper bound for one round)
 	Budget    int64   // the budget it was planned under (0 = unconstrained)
 	Measured  bool
+
+	// Block-choice fields, set by BuildBlocked (zero otherwise): the
+	// chosen per-block output and input shapes, the halo-waste fraction
+	// 1 − BlockOut.Volume()/BlockIn.Volume(), and the modeled cost per
+	// fresh output voxel the candidate was scored by.
+	BlockOut     tensor.Shape
+	BlockIn      tensor.Shape
+	HaloWaste    float64
+	CostPerVoxel float64
 
 	byGeom map[geomKey]Assignment
 }
@@ -270,7 +285,7 @@ func layerOptions(g conv.LayerGeom, cfg Config, methods []conv.Method, precs []c
 			}
 			seen[o] = true
 			o.cost = layerCost(g, m, p, k, cfg.Measured)
-			o.bytes = LayerBytes(g, m, p, k, workers)
+			o.bytes = LayerBytesRounds(g, m, p, k, workers, cfg.Rounds)
 			out = append(out, o)
 		}
 	}
@@ -318,8 +333,19 @@ func layerCost(g conv.LayerGeom, m conv.Method, prec conv.Precision, k int, meas
 // each of the allocator's power-of-two class capacity. Spatial methods use
 // no pooled spectra and return 0.
 func LayerBytes(g conv.LayerGeom, m conv.Method, prec conv.Precision, k, workers int) int64 {
+	return LayerBytesRounds(g, m, prec, k, workers, 1)
+}
+
+// LayerBytesRounds is LayerBytes with `rounds` fused rounds in flight
+// (rounds < 1 means 1): the round-scoped terms — image-spectrum caches,
+// accumulators, in-flight products — multiply by the round count, while the
+// kernel spectra are checked out once for the engine's lifetime and shared.
+func LayerBytesRounds(g conv.LayerGeom, m conv.Method, prec conv.Precision, k, workers, rounds int) int64 {
 	if !m.IsFFT() {
 		return 0
+	}
+	if rounds < 1 {
+		rounds = 1
 	}
 	ms := g.TransformShape()
 	n := fft.PackedVolume(ms)
@@ -335,7 +361,7 @@ func LayerBytes(g conv.LayerGeom, m conv.Method, prec conv.Precision, k, workers
 		inflight = workers
 	}
 	kernels := 2 * g.F * g.FPrime
-	return buf * int64(k*g.F+k*g.FPrime+inflight+kernels)
+	return buf * int64(rounds*(k*g.F+k*g.FPrime+inflight)+kernels)
 }
 
 // minBytes returns the smallest achievable footprint over all K (used for
@@ -424,6 +450,10 @@ func (p *Plan) Table() string {
 		b.WriteString("  (measured)")
 	}
 	b.WriteString("\n")
+	if p.BlockOut.Valid() {
+		fmt.Fprintf(&b, "block: out=%s in=%s halo waste=%.3f  est cost/voxel=%.4g\n",
+			shapeStr(p.BlockOut), shapeStr(p.BlockIn), p.HaloWaste, p.CostPerVoxel)
+	}
 	fmt.Fprintf(&b, "%-5s %-14s %-8s %-4s %-4s %-7s %-13s %-4s %12s %12s\n",
 		"layer", "in", "kernel", "f", "f'", "density", "method", "prec", "est cost", "est bytes")
 	for _, a := range p.Layers {
@@ -466,7 +496,7 @@ func (p *Plan) Stats() map[string]any {
 		names[i] = m.String()
 	}
 	sort.Strings(names)
-	return map[string]any{
+	out := map[string]any{
 		"k":              p.K,
 		"est_cost":       p.Cost,
 		"est_peak_bytes": p.PeakBytes,
@@ -475,4 +505,11 @@ func (p *Plan) Stats() map[string]any {
 		"methods":        names,
 		"layers":         layers,
 	}
+	if p.BlockOut.Valid() {
+		out["block_out"] = shapeStr(p.BlockOut)
+		out["block_in"] = shapeStr(p.BlockIn)
+		out["halo_waste"] = p.HaloWaste
+		out["est_cost_per_voxel"] = p.CostPerVoxel
+	}
+	return out
 }

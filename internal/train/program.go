@@ -357,6 +357,41 @@ func (p *Program) NewInferRound(batch [][]*tensor.Tensor) (*RoundState, error) {
 	return p.newRound(batch, nil, false, true)
 }
 
+// AcquireInfer admits forward-only rounds and returns the matching release
+// function. It is the exported admission hook for streaming executors that
+// compose their own round lifecycle over NewInferRound: a whole-volume
+// tiler acquires once, keeps a bounded window of fused rounds in flight
+// (RoundState.Start/Wait), and releases when the stream ends — instead of
+// paying the pending-update drain check per block. While held, training
+// rounds wait; with Engine.InferFused and friends it shares the ordinary
+// shared round lock, so admissions coexist.
+func (p *Program) AcquireInfer() (release func()) { return p.acquireInfer() }
+
+// Err surfaces the engine's sticky scheduler error (a panicked update task
+// means partially applied weights — every later result is suspect).
+// Callers composing rounds via NewInferRound should check it after waits.
+func (p *Program) Err() error { return p.sch.Err() }
+
+// InputShapes returns the required shape of each round input, in
+// g.Inputs() order.
+func (p *Program) InputShapes() []tensor.Shape {
+	out := make([]tensor.Shape, len(p.inputs))
+	for i, n := range p.inputs {
+		out[i] = n.Shape
+	}
+	return out
+}
+
+// OutputShapes returns the shape of each round output, in g.Outputs()
+// order.
+func (p *Program) OutputShapes() []tensor.Shape {
+	out := make([]tensor.Shape, len(p.outputs))
+	for i, n := range p.outputs {
+		out[i] = n.Shape
+	}
+	return out
+}
+
 // acquireInfer admits a forward-only round and returns the matching
 // release function. Normally it takes the round lock shared, first making
 // sure no lazily pending update task can mutate weights while inference

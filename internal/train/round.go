@@ -205,6 +205,17 @@ func (rs *RoundState) run() error {
 	return rs.wait()
 }
 
+// Start spawns the round's task tree without waiting for it — the submit
+// half of a streaming executor that keeps several inference rounds in
+// flight (the caller must hold an inference admission, see
+// Program.AcquireInfer). Pair every Start with exactly one Wait.
+func (rs *RoundState) Start() { rs.start() }
+
+// Wait blocks until a Started round's task tree completes, releases the
+// round's pooled buffers, and returns the round-local error. The published
+// output images (Outputs/OutputsAt) stay valid after Wait.
+func (rs *RoundState) Wait() error { return rs.wait() }
+
 // start spawns the round's data-provider task (Fig. 3, orange node),
 // setting the task tree in motion without waiting for it — the pipelined
 // session's Submit half. Strict callers use run.

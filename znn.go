@@ -259,6 +259,9 @@ func (n *Network) InputShape() Shape { return n.nw.InputShape() }
 // NumInputs returns the number of input volumes per round (InWidth).
 func (n *Network) NumInputs() int { return n.en.NumInputs() }
 
+// NumOutputs returns the number of output volumes per round (OutWidth).
+func (n *Network) NumOutputs() int { return len(n.nw.Outputs) }
+
 // OutputShape returns the shape of the network outputs.
 func (n *Network) OutputShape() Shape { return n.nw.OutputShape() }
 
